@@ -1,0 +1,84 @@
+"""E10 — analyzer scalability (Section 9's implementation claim).
+
+The paper positions the analyses as the engine of an *interactive*
+development environment, which demands they run in interactive time on
+realistic rule-set sizes. This benchmark sweeps |R| and measures wall
+time of the three analysis stages (triggering graph, confluence pair
+analysis, observable-determinism reduction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.termination import TriggeringGraph
+from repro.workloads.generator import GeneratorConfig, RandomRuleSetGenerator
+
+SIZES = [10, 25, 50, 100]
+
+
+def ruleset_of_size(n_rules: int):
+    config = GeneratorConfig(
+        n_rules=n_rules,
+        n_tables=max(3, n_rules // 5),
+        p_priority=0.1,
+        p_observable=0.1,
+    )
+    return RandomRuleSetGenerator(config, seed=n_rules).generate()
+
+
+@pytest.mark.parametrize("n_rules", SIZES)
+def test_e10_triggering_graph_construction(benchmark, report, n_rules):
+    ruleset = ruleset_of_size(n_rules)
+    definitions = DerivedDefinitions(ruleset)
+
+    def build():
+        graph = TriggeringGraph(definitions)
+        return graph.cyclic_components()
+
+    cyclic = benchmark(build)
+    report(f"[E10] TG construction |R|={n_rules}: {len(cyclic)} cyclic components")
+
+
+@pytest.mark.parametrize("n_rules", SIZES)
+def test_e10_confluence_analysis(benchmark, report, n_rules):
+    ruleset = ruleset_of_size(n_rules)
+    analyzer = RuleAnalyzer(ruleset)
+
+    def analyze():
+        return analyzer.analyze_confluence()
+
+    analysis = benchmark(analyze)
+    report(
+        f"[E10] confluence |R|={n_rules}: {analysis.pairs_examined} pairs, "
+        f"{len(analysis.violations)} violations"
+    )
+
+
+@pytest.mark.parametrize("n_rules", SIZES[:3])
+def test_e10_observable_determinism_analysis(benchmark, report, n_rules):
+    ruleset = ruleset_of_size(n_rules)
+    analyzer = RuleAnalyzer(ruleset)
+
+    def analyze():
+        return analyzer.analyze_observable_determinism()
+
+    analysis = benchmark(analyze)
+    report(
+        f"[E10] OD |R|={n_rules}: |Sig(Obs)|={len(analysis.significant)}, "
+        f"deterministic={analysis.observably_deterministic}"
+    )
+
+
+def test_e10_full_report_on_100_rules(benchmark, report):
+    """The interactive-environment claim: a full analysis pass over a
+    100-rule application completes in well under a second."""
+    ruleset = ruleset_of_size(100)
+    analyzer = RuleAnalyzer(ruleset)
+    result = benchmark(analyzer.analyze)
+    report(
+        f"[E10] full pass |R|=100: terminates={result.terminates} "
+        f"confluent={result.confluent} OD={result.observably_deterministic}"
+    )

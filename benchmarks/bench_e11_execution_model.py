@@ -1,0 +1,74 @@
+"""E11 — Lemma 4.1: execution-graph edge properties.
+
+Checks, over the explored execution graphs of the sample applications
+and a random sweep, that every edge satisfies the lemma's properties
+(eligible rule considered; executed operations within Performs; rules
+disappear only via consideration/untriggering; rules appear only via
+the action's operations). Reports edges-checked counts per workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.processor import RuleProcessor
+from repro.validate.execution_model import check_execution_edges
+from repro.workloads.applications import (
+    audit_application,
+    inventory_application,
+    scratch_table_application,
+)
+from repro.workloads.generator import (
+    GeneratorConfig,
+    RandomInstanceGenerator,
+    RandomRuleSetGenerator,
+)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [inventory_application, audit_application, scratch_table_application],
+    ids=["inventory", "audit", "scratch"],
+)
+def test_e11_applications(benchmark, report, factory):
+    app = factory()
+
+    def check():
+        processor = RuleProcessor(app.ruleset, app.database.copy())
+        for statement in app.transition:
+            processor.execute_user(statement)
+        return check_execution_edges(processor, max_states=400)
+
+    result = benchmark(check)
+    report(
+        f"[E11] {app.name}: edges={result.edges_checked} "
+        f"violations={len(result.violations)}"
+    )
+    assert result.holds, result.violations[:3]
+
+
+def random_sweep(seeds=range(10)):
+    config = GeneratorConfig(
+        n_tables=2, n_columns=2, n_rules=4, rows_per_table=2
+    )
+    total_edges = 0
+    total_violations = 0
+    for seed in seeds:
+        ruleset = RandomRuleSetGenerator(config, seed=seed).generate()
+        generator = RandomInstanceGenerator(config)
+        database = generator.generate_database(ruleset.schema, seed=seed)
+        statements = generator.generate_transition(ruleset.schema, seed=seed)
+        processor = RuleProcessor(ruleset, database)
+        for statement in statements:
+            processor.execute_user(statement)
+        result = check_execution_edges(processor, max_states=150)
+        total_edges += result.edges_checked
+        total_violations += len(result.violations)
+    return total_edges, total_violations
+
+
+def test_e11_random_sweep(benchmark, report):
+    edges, violations = benchmark(random_sweep)
+    report(f"[E11] random sweep: edges={edges} violations={violations}")
+    assert edges > 100
+    assert violations == 0

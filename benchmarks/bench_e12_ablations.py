@@ -1,0 +1,215 @@
+"""E12 — ablations of the paper's design choices.
+
+Two of the paper's design decisions are ablated to show they matter:
+
+1. **Column-granularity update events** (``(U, t.c)`` rather than
+   ``(U, t)``): replacing Lemma 6.1's column-level conditions 3/5 with
+   table-level ones stays sound but rejects strictly more commutative
+   pairs — measured as lost acceptance over a sweep.
+2. **The R1/R2 interference sets** (Definition 6.5): replacing them
+   with a naive "every unordered pair must commute" check is *unsound*
+   — the Figure 3/4 scenario is accepted by the naive check yet
+   genuinely diverges, which the oracle demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.confluence import ConfluenceAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.termination import TerminationAnalyzer
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+from repro.validate.oracle import oracle_verdict
+from repro.workloads.generator import GeneratorConfig, LayeredRuleSetGenerator
+
+CONFIG = GeneratorConfig(n_rules=5, n_tables=5, p_priority=0.4)
+
+
+def granularity_sweep(seeds=range(40)):
+    """Confluence acceptance under column- vs table-granularity."""
+    column_accepts = 0
+    table_accepts = 0
+    inversions = 0  # table accepts where column rejects (must be 0)
+    for seed in seeds:
+        # p_same_column=0.3: most write-write overlaps land on sibling
+        # columns of the same table — exactly where the granularity of
+        # (U, t.c) events matters.
+        ruleset = LayeredRuleSetGenerator(
+            CONFIG, seed=seed, p_conflict=0.5, p_same_column=0.3
+        ).generate()
+        definitions = DerivedDefinitions(ruleset)
+        termination = TerminationAnalyzer(definitions).analyze().guaranteed
+
+        def accepted(granularity: str) -> bool:
+            commutativity = CommutativityAnalyzer(
+                definitions, granularity=granularity
+            )
+            analysis = ConfluenceAnalyzer(
+                definitions, ruleset.priorities, commutativity
+            ).analyze()
+            return analysis.confluent(termination)
+
+        column = accepted("column")
+        table = accepted("table")
+        column_accepts += column
+        table_accepts += table
+        if table and not column:
+            inversions += 1
+    return column_accepts, table_accepts, inversions
+
+
+def test_e12_column_granularity_buys_acceptance(benchmark, report):
+    column, table, inversions = benchmark(granularity_sweep)
+    report(
+        f"[E12] confluence acceptance: column-granularity {column}/40 vs "
+        f"table-granularity {table}/40 (inversions: {inversions})"
+    )
+    assert inversions == 0  # table mode is strictly more conservative
+    assert column >= table
+    assert column > table  # and the precision actually pays off
+
+
+# The (ri, helper) pair must be ordered so the *naive* pairwise check
+# does not already reject it via condition 1 — but ordering ri above
+# helper would transitively order (ri, rj) and make Definition 6.5
+# vacuous. Ordering helper above BOTH keeps (ri, rj) unordered while
+# hiding the helper conflicts from the pairwise check.
+FIGURE4 = """
+create rule ri on t when inserted
+then insert into u values (1)
+
+create rule helper on u when inserted
+then update z set q = 1
+precedes ri, rj
+
+create rule rj on t when inserted then update z set q = 2
+"""
+
+
+def naive_pairwise_accepts(ruleset) -> bool:
+    """The ablated check: unordered pairs only, no R1/R2 fixpoint."""
+    definitions = DerivedDefinitions(ruleset)
+    commutativity = CommutativityAnalyzer(definitions)
+    if TerminationAnalyzer(definitions).analyze().may_not_terminate:
+        return False
+    for first, second in ruleset.priorities.unordered_pairs():
+        if not commutativity.commute(first, second):
+            return False
+    return True
+
+
+def test_e12_interference_sets_are_necessary(benchmark, report):
+    schema = schema_from_spec({"t": ["id"], "u": ["id"], "z": ["q"]})
+    ruleset = RuleSet.parse(FIGURE4, schema)
+
+    def verdicts():
+        naive = naive_pairwise_accepts(ruleset)
+        full = RuleAnalyzer(ruleset).analyze().confluent
+        return naive, full
+
+    naive, full = benchmark(verdicts)
+
+    database = Database(schema)
+    database.load("z", [(0,)])
+    verdict = oracle_verdict(ruleset, database, ["insert into t values (1)"])
+
+    report(
+        f"[E12] Figure-4 scenario: naive-pairwise accepts={naive}, "
+        f"Definition 6.5 accepts={full}, oracle confluent="
+        f"{verdict.confluent}"
+    )
+    # The ablated check accepts a genuinely divergent rule set — unsound;
+    # the full Definition 6.5 correctly rejects it.
+    assert naive is True
+    assert full is False
+    assert verdict.confluent is False
+
+
+def test_e12_naive_check_unsoundness_rate(benchmark, report):
+    """How often does dropping R1/R2 admit a set Definition 6.5 rejects?"""
+
+    def sweep(seeds=range(40)):
+        naive_only = 0
+        both = 0
+        for seed in seeds:
+            ruleset = LayeredRuleSetGenerator(
+                CONFIG, seed=seed, p_conflict=0.4
+            ).generate()
+            naive = naive_pairwise_accepts(ruleset)
+            full = RuleAnalyzer(ruleset).analyze().confluent
+            if naive and not full:
+                naive_only += 1
+            if naive and full:
+                both += 1
+        return naive_only, both
+
+    naive_only, both = benchmark(sweep)
+    report(
+        f"[E12] naive-accepts-but-6.5-rejects: {naive_only}/40; "
+        f"both accept: {both}/40"
+    )
+    # Definition 6.5 never accepts more than the naive check (it adds
+    # obligations), so every difference is a potential unsoundness of
+    # the ablation.
+    assert both <= 40
+
+
+def refinement_sweep(seeds=range(40)):
+    """Acceptance gain from the automatic condition-3/4 refinement
+    (inserted literal rows provably rejected by closed predicates)."""
+    import random
+
+    from repro.rules.ruleset import RuleSet
+    from repro.schema.catalog import schema_from_spec
+
+    plain_accepts = 0
+    refined_accepts = 0
+    inversions = 0
+    for seed in seeds:
+        # Structured generator: guard rules delete out-of-range rows
+        # while feeder rules insert literal in-range rows — exactly the
+        # example-1 pattern, with a tunable fraction of real conflicts.
+        rng = random.Random(seed)
+        schema = schema_from_spec({"src": ["id"], "data": ["id", "v"]})
+        rules = []
+        for index in range(3):
+            value = rng.choice([1, 2, 500])  # 500 = a real conflict
+            rules.append(
+                f"create rule feeder{index} on src when inserted\n"
+                f"then insert into data values ({index}, {value})"
+            )
+        rules.append(
+            "create rule guard on src when inserted\n"
+            "then delete from data where v > 100"
+        )
+        ruleset = RuleSet.parse("\n\n".join(rules), schema)
+        definitions = DerivedDefinitions(ruleset)
+        termination = TerminationAnalyzer(definitions).analyze().guaranteed
+
+        def accepted(refine: bool) -> bool:
+            commutativity = CommutativityAnalyzer(definitions, refine=refine)
+            analysis = ConfluenceAnalyzer(
+                definitions, ruleset.priorities, commutativity
+            ).analyze()
+            return analysis.confluent(termination)
+
+        plain = accepted(False)
+        refined = accepted(True)
+        plain_accepts += plain
+        refined_accepts += refined
+        if plain and not refined:
+            inversions += 1
+    return plain_accepts, refined_accepts, inversions
+
+
+def test_e12_refinement_buys_acceptance(benchmark, report):
+    plain, refined, inversions = benchmark(refinement_sweep)
+    report(
+        f"[E12] confluence acceptance: plain Lemma 6.1 {plain}/40 vs "
+        f"refined {refined}/40 (inversions: {inversions})"
+    )
+    assert inversions == 0  # refinement only ever accepts more
+    assert refined > plain

@@ -1,0 +1,111 @@
+"""E13 — incremental analysis (Section 9 future work).
+
+Measures what the paper predicts: after editing one rule, "most results
+of previous analysis are still valid and only incremental additional
+analysis needs to be performed". We compare full re-analysis against
+partition-cached incremental re-analysis on a 40-rule application made
+of 10 independent 4-rule groups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.incremental import IncrementalAnalyzer
+from repro.schema.catalog import Schema
+
+
+def build_application(groups: int = 10):
+    """`groups` independent 4-rule chains over disjoint tables."""
+    schema = Schema()
+    for group in range(groups):
+        for level in range(4):
+            schema.add_table(f"g{group}_t{level}", ["id", "v"])
+    analyzer = IncrementalAnalyzer(schema)
+    for group in range(groups):
+        for level in range(3):
+            # Order each rule before the one it triggers (Corollary 6.10).
+            next_rule = f"g{group}_r{level + 1}" if level < 2 else f"g{group}_cap"
+            analyzer.define_rule(
+                f"create rule g{group}_r{level} on g{group}_t{level} "
+                f"when inserted "
+                f"then insert into g{group}_t{level + 1} values (1, {level}) "
+                f"precedes {next_rule}"
+            )
+        analyzer.define_rule(
+            f"create rule g{group}_cap on g{group}_t3 when inserted "
+            f"then update g{group}_t3 set v = 0 where v > 100"
+        )
+    return analyzer
+
+
+def test_e13_cold_analysis(benchmark, report):
+    analyzer = build_application()
+
+    def cold():
+        analyzer._cache.clear()
+        return analyzer.analyze()
+
+    result = benchmark(cold)
+    report(
+        f"[E13] cold pass: {result.summary()}"
+    )
+    assert result.partitions_reanalyzed == 10
+    assert result.terminates and result.confluent
+
+
+def test_e13_warm_noop_analysis(benchmark, report):
+    analyzer = build_application()
+    analyzer.analyze()
+
+    result = benchmark(analyzer.analyze)
+    report(f"[E13] warm no-op pass: {result.summary()}")
+    assert result.partitions_reused == 10
+    assert result.partitions_reanalyzed == 0
+
+
+def test_e13_single_edit_analysis(benchmark, report):
+    analyzer = build_application()
+    analyzer.analyze()
+    toggle = [0]
+
+    def edit_one_rule():
+        toggle[0] += 1
+        analyzer.define_rule(
+            "create rule g0_r0 on g0_t0 when inserted "
+            f"then insert into g0_t1 values (1, {toggle[0] % 7}) "
+            "precedes g0_r1"
+        )
+        return analyzer.analyze()
+
+    result = benchmark(edit_one_rule)
+    report(f"[E13] single-edit pass: {result.summary()}")
+    assert result.partitions_reanalyzed == 1
+    assert result.partitions_reused == 9
+    assert result.confluent  # the edit preserved the ordering discipline
+
+
+def test_e13_incremental_matches_monolithic(benchmark, report):
+    from repro.analysis.analyzer import RuleAnalyzer
+
+    analyzer = build_application(groups=5)
+
+    def both():
+        incremental = analyzer.analyze()
+        monolithic = RuleAnalyzer(analyzer.build_ruleset()).analyze()
+        return incremental, monolithic
+
+    incremental, monolithic = benchmark(both)
+    report(
+        f"[E13] incremental ({incremental.terminates}, "
+        f"{incremental.confluent}, "
+        f"{incremental.observably_deterministic}) == monolithic "
+        f"({monolithic.terminates}, {monolithic.confluent}, "
+        f"{monolithic.observably_deterministic})"
+    )
+    assert incremental.terminates == monolithic.terminates
+    assert incremental.confluent == monolithic.confluent
+    assert (
+        incremental.observably_deterministic
+        == monolithic.observably_deterministic
+    )

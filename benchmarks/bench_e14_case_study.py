@@ -1,0 +1,96 @@
+"""E14 — end-to-end case study: the procurement application.
+
+The complete workflow the paper's interactive environment is meant to
+support, on the "large and realistic" application of Section 9's
+implementation plans: analyze (everything fails) → inspect isolated
+problems → certify cycles (one by heuristic, one by the user) → order
+conflicting pairs → re-analyze (everything green) → validate the final
+verdicts at runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.validate.oracle import oracle_verdict
+from repro.validate.sampling import sample_runs
+from repro.workloads.applications import (
+    apply_procurement_repairs,
+    procurement_application,
+)
+
+
+def full_workflow():
+    app = procurement_application()
+    analyzer = RuleAnalyzer(app.ruleset.subset(app.ruleset.names))
+    before = analyzer.analyze()
+
+    # Heuristics first (the analyzer's own suggestions), then the user.
+    auto = analyzer.termination_analyzer.apply_auto_certifications()
+    analyzer.certify_termination("enforce_cap")
+    __, actions = analyzer.repair_confluence()
+    after = analyzer.analyze()
+    return before, auto, actions, after
+
+
+def test_e14_interactive_workflow(benchmark, report):
+    before, auto, actions, after = benchmark(full_workflow)
+    report(
+        f"[E14] before: terminates={before.terminates} "
+        f"confluent={before.confluent} OD={before.observably_deterministic}",
+        f"[E14] auto-certified cycles: {sorted(auto)}; user certified: "
+        "['enforce_cap']",
+        f"[E14] repair orderings applied: {len(actions)}",
+        f"[E14] after:  terminates={after.terminates} "
+        f"confluent={after.confluent} OD={after.observably_deterministic}",
+    )
+    assert not before.terminates and not before.confluent
+    assert auto == frozenset({"rebalance_bins"})
+    assert after.terminates and after.confluent
+    assert after.observably_deterministic
+
+
+def test_e14_runtime_validation(benchmark, report):
+    app = procurement_application()
+    analyzer = RuleAnalyzer(app.ruleset)
+    apply_procurement_repairs(analyzer)
+
+    def validate():
+        return oracle_verdict(
+            app.ruleset,
+            app.database,
+            app.transition,
+            max_states=3_000,
+            max_depth=300,
+        )
+
+    verdict = benchmark(validate)
+    report(
+        f"[E14] oracle: states={verdict.graph.state_count} "
+        f"terminates={verdict.terminates} confluent={verdict.confluent} "
+        f"streams={len(verdict.graph.observable_streams)}"
+    )
+    assert verdict.terminates and verdict.confluent
+
+
+def test_e14_sampling_a_heavier_transition(benchmark, report):
+    app = procurement_application()
+    analyzer = RuleAnalyzer(app.ruleset)
+    apply_procurement_repairs(analyzer)
+    statements = [
+        "insert into orders values (103, 10, 1)",
+        "insert into orders values (104, 20, 2)",
+        "insert into orders values (105, 11, 4)",
+        "update bins set load = load + 4 where id = 2",
+    ]
+
+    def sample():
+        return sample_runs(
+            app.ruleset, app.database, statements, runs=10, seed=4
+        )
+
+    result = benchmark(sample)
+    report(f"[E14] sampler: {result.describe()}")
+    assert result.all_terminated
+    assert not result.confluence_refuted

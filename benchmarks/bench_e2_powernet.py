@@ -1,0 +1,86 @@
+"""E2 — Section 5 special cases and the power-network case study [CW90].
+
+Regenerates the case-study table: triggering-graph cycles found, rules
+certified, and the oracle's termination verdict (with state counts) per
+network size. Also exercises the delete-only automatic special case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.schema.catalog import schema_from_spec
+from repro.rules.ruleset import RuleSet
+from repro.validate.oracle import oracle_verdict
+from repro.workloads.powernet import power_network_workload
+
+
+def analyze_and_certify():
+    workload = power_network_workload()
+    analyzer = RuleAnalyzer(workload.ruleset)
+    before = analyzer.analyze_termination()
+    for rule in workload.certifiable_rules:
+        analyzer.certify_termination(rule)
+    after = analyzer.analyze_termination()
+    return before, after
+
+
+def test_e2_certification_flow(benchmark, report):
+    before, after = benchmark(analyze_and_certify)
+    cycles = "; ".join(
+        "{" + ", ".join(sorted(component)) + "}"
+        for component in before.cyclic_components
+    )
+    report(
+        f"[E2] cycles found: {cycles}",
+        f"[E2] before certification: guaranteed={before.guaranteed}",
+        f"[E2] after  certification: guaranteed={after.guaranteed}",
+    )
+    assert not before.guaranteed
+    assert after.guaranteed
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_e2_oracle_termination_per_size(benchmark, report, size):
+    workload = power_network_workload(size=size)
+
+    def explore():
+        return oracle_verdict(
+            workload.ruleset,
+            workload.database,
+            workload.overload_transition(),
+            max_states=20_000,
+            max_depth=2_000,
+        )
+
+    verdict = benchmark(explore)
+    report(
+        f"[E2] size={size}  states={verdict.graph.state_count}  "
+        f"terminates={verdict.terminates}"
+    )
+    assert verdict.terminates
+
+
+def test_e2_delete_only_special_case(benchmark, report):
+    schema = schema_from_spec({"a": ["pk", "fk"], "b": ["pk", "fk"]})
+    source = """
+    create rule cascade_ab on a when deleted
+    then delete from b where fk in (select pk from deleted)
+
+    create rule cascade_ba on b when deleted
+    then delete from a where fk in (select pk from deleted)
+    """
+    ruleset = RuleSet.parse(source, schema)
+
+    def analyze():
+        return RuleAnalyzer(ruleset).analyze_termination()
+
+    analysis = benchmark(analyze)
+    component = analysis.cyclic_components[0]
+    auto = analysis.auto_certifiable[component]
+    report(
+        f"[E2] mutual-cascade cycle: {sorted(component)}  "
+        f"auto-certifiable: {sorted(auto)}"
+    )
+    assert auto == component  # both cascades only delete

@@ -1,0 +1,70 @@
+"""E6 — Corollaries 6.8, 6.9, 6.10, 8.2.
+
+Over a seeded sweep of random rule sets, every set our analysis accepts
+(confluent / observably deterministic) satisfies the corresponding
+corollary properties — zero counterexamples. Reports acceptance counts
+and corollary-check counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.corollaries import (
+    check_corollary_6_8,
+    check_corollary_6_9,
+    check_corollary_6_10,
+    check_corollary_8_2,
+)
+from repro.workloads.generator import GeneratorConfig, LayeredRuleSetGenerator
+
+CONFIG = GeneratorConfig(
+    n_rules=5, n_tables=5, p_priority=0.5, p_observable=0.3
+)
+
+
+def corollary_sweep(seeds=range(40)):
+    confluent_accepted = 0
+    od_accepted = 0
+    violations = 0
+    for seed in seeds:
+        ruleset = LayeredRuleSetGenerator(
+            CONFIG, seed=seed, p_conflict=0.4
+        ).generate()
+        analyzer = RuleAnalyzer(ruleset)
+        report = analyzer.analyze()
+        if report.confluent:
+            confluent_accepted += 1
+            violations += len(
+                check_corollary_6_8(
+                    analyzer.definitions,
+                    ruleset.priorities,
+                    analyzer.commutativity,
+                )
+            )
+            violations += len(
+                check_corollary_6_9(
+                    analyzer.definitions,
+                    ruleset.priorities,
+                    analyzer.commutativity,
+                )
+            )
+            violations += len(
+                check_corollary_6_10(analyzer.definitions, ruleset.priorities)
+            )
+        if report.observably_deterministic:
+            od_accepted += 1
+            violations += len(
+                check_corollary_8_2(analyzer.definitions, ruleset.priorities)
+            )
+    return confluent_accepted, od_accepted, violations
+
+
+def test_e6_corollaries_hold_for_accepted_sets(benchmark, report):
+    confluent, od, violations = benchmark(corollary_sweep)
+    report(
+        f"[E6] accepted as confluent: {confluent}/40  "
+        f"as observably deterministic: {od}/40  "
+        f"corollary violations: {violations}"
+    )
+    assert confluent > 0
+    assert violations == 0

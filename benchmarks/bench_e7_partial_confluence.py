@@ -1,0 +1,99 @@
+"""E7 — Definition 7.1 / Theorem 7.2: partial confluence.
+
+Regenerates the scratch-vs-data-table experiment: the scratch
+application is statically non-confluent overall but confluent with
+respect to its data tables; the oracle confirms the projection
+agreement of all final states. Also measures how certification shrinks
+``Sig(T')`` and sweeps Sig-size against rule-set size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.partial_confluence import significant_rules
+from repro.validate.oracle import oracle_partial_confluence, oracle_verdict
+from repro.workloads.applications import scratch_table_application
+from repro.workloads.generator import GeneratorConfig, RandomRuleSetGenerator
+
+
+def analyze_scratch():
+    app = scratch_table_application()
+    analyzer = RuleAnalyzer(app.ruleset)
+    overall = analyzer.analyze()
+    partial_data = analyzer.analyze_partial_confluence(app.important_tables)
+    partial_scratch = analyzer.analyze_partial_confluence(["scratch"])
+    return app, overall, partial_data, partial_scratch
+
+
+def test_e7_scratch_tables(benchmark, report):
+    app, overall, partial_data, partial_scratch = benchmark(analyze_scratch)
+    report(
+        f"[E7] overall confluent: {overall.confluent}",
+        f"[E7] w.r.t. data tables:    {partial_data.confluent_with_respect_to_tables}"
+        f"  (Sig = {sorted(partial_data.significant)})",
+        f"[E7] w.r.t. scratch table:  "
+        f"{partial_scratch.confluent_with_respect_to_tables}",
+    )
+    assert not overall.confluent
+    assert partial_data.confluent_with_respect_to_tables
+    assert not partial_scratch.confluent_with_respect_to_tables
+
+    # Oracle confirms both directions.
+    assert oracle_partial_confluence(
+        app.ruleset, app.database, app.transition, list(app.important_tables)
+    )
+    assert not oracle_partial_confluence(
+        app.ruleset, app.database, app.transition, ["scratch"]
+    )
+    verdict = oracle_verdict(app.ruleset, app.database, app.transition)
+    assert not verdict.confluent
+
+
+def test_e7_certification_shrinks_sig(benchmark, report):
+    from repro.rules.ruleset import RuleSet
+    from repro.schema.catalog import schema_from_spec
+
+    schema = schema_from_spec({"data": ["v"], "scratch": ["v"], "src": ["id"]})
+    source = """
+    create rule writes_data on src when inserted
+    then update data set v = v + 1
+
+    create rule reads_data on src when inserted
+    then update scratch set v = (select max(v) from data)
+    """
+    ruleset = RuleSet.parse(source, schema)
+    analyzer = RuleAnalyzer(ruleset)
+
+    def compute_both():
+        before = significant_rules(
+            analyzer.definitions, analyzer.commutativity, ["data"]
+        )
+        analyzer.certify_commutes("writes_data", "reads_data")
+        after = significant_rules(
+            analyzer.definitions, analyzer.commutativity, ["data"]
+        )
+        analyzer.commutativity.revoke_certification("writes_data", "reads_data")
+        return before, after
+
+    before, after = benchmark(compute_both)
+    report(f"[E7] Sig before certification: {sorted(before)}  after: {sorted(after)}")
+    assert len(after) < len(before)
+
+
+@pytest.mark.parametrize("n_rules", [4, 8, 12])
+def test_e7_sig_size_scales_with_rule_count(benchmark, report, n_rules):
+    config = GeneratorConfig(n_rules=n_rules, p_priority=0.2)
+    ruleset = RandomRuleSetGenerator(config, seed=1).generate()
+    analyzer = RuleAnalyzer(ruleset)
+    target = ruleset.schema.table_names[0]
+
+    def compute():
+        return significant_rules(
+            analyzer.definitions, analyzer.commutativity, [target]
+        )
+
+    sig = benchmark(compute)
+    report(f"[E7] |R|={n_rules}  |Sig({target})|={len(sig)}")
+    assert sig <= frozenset(ruleset.names)

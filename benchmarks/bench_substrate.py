@@ -1,0 +1,125 @@
+"""Substrate microbenchmarks: engine, rule processor, explorer.
+
+Not a paper experiment — these keep the performance of the layers the
+experiments stand on visible (a regression here silently inflates every
+E-number's wall time). Reported: DML and query throughput, rule
+processing steps, and execution-graph exploration rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.dml import execute_statement
+from repro.lang.parser import parse_rules, parse_statement
+from repro.rules.ruleset import RuleSet
+from repro.runtime.exec_graph import explore
+from repro.runtime.processor import RuleProcessor
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec(
+        {"orders": ["id", "item", "qty"], "stock": ["item", "on_hand"]}
+    )
+
+
+def test_substrate_insert_throughput(benchmark, schema):
+    statement = parse_statement("insert into orders values (1, 2, 3)")
+
+    def run():
+        database = Database(schema)
+        for __ in range(500):
+            execute_statement(database, statement)
+        return len(database.table("orders"))
+
+    assert benchmark(run) == 500
+
+
+def test_substrate_update_scan(benchmark, schema):
+    database = Database(schema)
+    database.load("stock", [(item, item % 10) for item in range(300)])
+    # Filter on the immutable key so repeated benchmark iterations keep
+    # matching the same row set.
+    statement = parse_statement(
+        "update stock set on_hand = on_hand + 1 where item < 150"
+    )
+
+    def run():
+        return execute_statement(database, statement).affected
+
+    assert benchmark(run) == 150
+
+
+def test_substrate_join_query(benchmark, schema):
+    database = Database(schema)
+    database.load("orders", [(i, i % 20, 1) for i in range(100)])
+    database.load("stock", [(item, 5) for item in range(20)])
+    statement = parse_statement(
+        "select o.id, s.on_hand from orders o, stock s "
+        "where o.item = s.item and s.on_hand > 0"
+    )
+
+    def run():
+        return execute_statement(database, statement).query_result
+
+    assert len(benchmark(run).rows) == 100
+
+
+def test_substrate_group_by_query(benchmark, schema):
+    database = Database(schema)
+    database.load("orders", [(i, i % 10, i % 3) for i in range(200)])
+    statement = parse_statement(
+        "select item, count(*), sum(qty) from orders group by item"
+    )
+
+    def run():
+        return execute_statement(database, statement).query_result
+
+    assert len(benchmark(run).rows) == 10
+
+
+def test_substrate_rule_processing(benchmark, schema):
+    source = """
+    create rule reserve on orders when inserted
+    then update stock set on_hand = on_hand - 1
+         where item in (select item from inserted)
+    precedes refill
+
+    create rule refill on stock when updated(on_hand)
+    if exists (select * from new_updated where on_hand < 1)
+    then update stock set on_hand = on_hand + 10 where on_hand < 1
+    """
+    ruleset = RuleSet.parse(source, schema)
+
+    def run():
+        database = Database(schema)
+        database.load("stock", [(item, 1) for item in range(5)])
+        processor = RuleProcessor(ruleset, database)
+        for order in range(10):
+            processor.execute_user(
+                f"insert into orders values ({order}, {order % 5}, 1)"
+            )
+        return len(processor.run().steps)
+
+    assert benchmark(run) > 0
+
+
+def test_substrate_exploration_rate(benchmark, schema):
+    source = """
+    create rule a on orders when inserted then update stock set on_hand = 1
+    create rule b on orders when inserted then update stock set on_hand = 2
+    create rule c on orders when inserted then update stock set on_hand = 3
+    """
+    ruleset = RuleSet.parse(source, schema)
+
+    def run():
+        database = Database(schema)
+        database.load("stock", [(0, 0)])
+        processor = RuleProcessor(ruleset, database)
+        processor.execute_user("insert into orders values (1, 0, 1)")
+        return explore(processor).state_count
+
+    assert benchmark(run) > 5

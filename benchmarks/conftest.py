@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*``/``test_*`` module reproduces one experiment from
+DESIGN.md's per-experiment index (E1–E11). The paper (SIGMOD 1992) has
+no numeric evaluation tables — its claims are theorems, figures and
+qualitative case-study observations — so every benchmark
+
+1. regenerates the *artifact* (acceptance rates, verdict tables,
+   subsumption counts, repair-loop traces) and prints it through
+   :func:`report` so it lands in the terminal even under capture, and
+2. times the underlying analysis/exploration with pytest-benchmark.
+
+Assertions encode the claim's *shape* (who accepts what, which side is
+conservative), so a regression fails loudly rather than silently
+shifting numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print rows that bypass pytest's output capture."""
+
+    def emit(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return emit

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Observable determinism: an auditing application (Section 8).
+
+Rule actions that retrieve data or roll back are *observable* — the
+environment sees them while rules run, so even a confluent rule set can
+behave nondeterministically from the outside. This example:
+
+1. builds an account-auditing rule set with two observable reporting
+   rules;
+2. shows it is confluent yet NOT observably deterministic, statically
+   (the Obs-table reduction of Theorem 8.1) and at runtime (two
+   distinct observable streams in the execution graph);
+3. applies Corollary 8.2 — orders the observable rules — and shows both
+   analyses now agree on determinism;
+4. demonstrates the orthogonality remark: a second rule set that is
+   observably deterministic but NOT confluent.
+
+Run with::
+
+    python examples/observable_audit.py
+"""
+
+from repro import Database, RuleAnalyzer, RuleSet, oracle_verdict, schema_from_spec
+from repro.workloads.applications import audit_application, scratch_table_application
+
+
+def show(label: str, static_report, verdict) -> None:
+    print(f"== {label} ==")
+    print(f"static : confluent={static_report.confluent}  "
+          f"observably deterministic={static_report.observably_deterministic}")
+    print(f"oracle : confluent={verdict.confluent}  "
+          f"streams={len(verdict.graph.observable_streams)}")
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1-2. The audit application: confluent, not observably deterministic.
+    # ------------------------------------------------------------------
+    app = audit_application()
+    analyzer = RuleAnalyzer(app.ruleset)
+    report = analyzer.analyze()
+    verdict = oracle_verdict(app.ruleset, app.database, app.transition)
+    show("audit application (as written)", report, verdict)
+
+    print("\nSig(Obs) =", sorted(report.observable_determinism.significant))
+    for violation in report.observable_determinism.confluence.violations:
+        print("violation:", violation.describe())
+
+    for stream in sorted(
+        verdict.graph.observable_streams, key=lambda s: [a.rule for a in s]
+    ):
+        print("stream:", " | ".join(str(action) for action in stream))
+
+    # ------------------------------------------------------------------
+    # 3. Corollary 8.2: order the two observable reports.
+    # ------------------------------------------------------------------
+    print()
+    analyzer.add_priority("report_negative", "report_total")
+    report = analyzer.analyze()
+    verdict = oracle_verdict(app.ruleset, app.database, app.transition)
+    show("audit application (reports ordered)", report, verdict)
+    assert report.observably_deterministic
+    assert len(verdict.graph.observable_streams) == 1
+
+    # ------------------------------------------------------------------
+    # 4. Orthogonality: OD but not confluent (scratch-table application).
+    # ------------------------------------------------------------------
+    print()
+    scratch = scratch_table_application()
+    report = RuleAnalyzer(scratch.ruleset).analyze()
+    verdict = oracle_verdict(scratch.ruleset, scratch.database, scratch.transition)
+    show("scratch application", report, verdict)
+    assert not report.confluent and report.observably_deterministic
+
+    # And partial confluence rescues the data tables (Section 7).
+    partial = RuleAnalyzer(scratch.ruleset).analyze_partial_confluence(
+        scratch.important_tables
+    )
+    print(f"partial: {partial.describe()}")
+
+    # ------------------------------------------------------------------
+    # Bonus: a rollback guard — rollbacks are observable too.
+    # ------------------------------------------------------------------
+    print()
+    schema = schema_from_spec({"txns": ["id", "amount"]})
+    guarded = RuleSet.parse(
+        """
+        create rule reject_large on txns
+        when inserted
+        if exists (select * from inserted where amount > 1000)
+        then rollback 'transaction too large'
+        """,
+        schema,
+    )
+    database = Database(schema)
+    verdict = oracle_verdict(
+        guarded, database, ["insert into txns values (1, 5000)"]
+    )
+    (stream,) = verdict.graph.observable_streams
+    print("rollback stream:", " | ".join(str(action) for action in stream))
+    (final,) = set(verdict.graph.final_databases.values())
+    assert dict(final)["txns"] == ()  # the insert was rolled back
+    print("large transaction rejected; database unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""The power-network design case study (Section 5 of the paper).
+
+The paper reports using its interactive termination process "to
+establish termination for a set of rules in a power network design
+application" [CW90]. The rules form triggering-graph cycles — a
+self-loop on the overload-shedding rule and a two-rule cycle between
+demand propagation and supply balancing — so Theorem 5.1 alone cannot
+certify termination. Each rule's action, however, strictly decreases a
+bounded non-negative measure, which the engineer certifies
+interactively.
+
+This example reproduces that flow and then stress-tests the certified
+claim: for a sweep of network sizes and overload severities, every
+execution order of the rules terminates and restores the design
+invariants (no branch over capacity, no node with unmet demand).
+
+Run with::
+
+    python examples/power_network.py
+"""
+
+from repro import RuleAnalyzer, RuleProcessor, oracle_verdict
+from repro.workloads.powernet import power_network_workload
+
+
+def main() -> None:
+    workload = power_network_workload(size=3)
+    print("rules:")
+    for rule in workload.ruleset:
+        print(f"  {rule.name}  (on {rule.table})")
+
+    # ------------------------------------------------------------------
+    # Static analysis: cycles are found and reported.
+    # ------------------------------------------------------------------
+    analyzer = RuleAnalyzer(workload.ruleset)
+    analysis = analyzer.analyze_termination()
+    print("\n== termination analysis (before certification) ==")
+    print(analysis.describe())
+    for component in analysis.cyclic_components:
+        print(f"  cycle: {sorted(component)}")
+
+    # The engineer certifies each cycle: shedding strictly decreases
+    # total overload; propagation/balancing strictly shrink the
+    # demand-supply gap. Both measures are bounded below.
+    print("\n== interactive certification ==")
+    for rule_name in workload.certifiable_rules:
+        analyzer.certify_termination(rule_name)
+        print(f"  certified {rule_name}")
+    print(analyzer.analyze_termination().describe())
+
+    # ------------------------------------------------------------------
+    # Runtime check of the certified claim across design changes.
+    # ------------------------------------------------------------------
+    print("\n== oracle sweep over design changes ==")
+    print(f"{'size':>4} {'demand+':>8} {'states':>7} {'terminates':>10}")
+    for size in (2, 3, 4):
+        for spike in (2, 4):
+            workload = power_network_workload(size=size)
+            statements = [
+                f"update node set demand = demand + {spike} where id = 1",
+                "update branch set load = load + 3 where id = 10",
+            ]
+            verdict = oracle_verdict(
+                workload.ruleset,
+                workload.database,
+                statements,
+                max_states=20_000,
+                max_depth=2_000,
+            )
+            print(
+                f"{size:>4} {spike:>8} {verdict.graph.state_count:>7} "
+                f"{str(verdict.terminates):>10}"
+            )
+            assert verdict.terminates
+
+    # ------------------------------------------------------------------
+    # One concrete run: invariants restored at quiescence.
+    # ------------------------------------------------------------------
+    workload = power_network_workload(size=3)
+    processor = RuleProcessor(
+        workload.ruleset, workload.database, max_steps=1_000
+    )
+    for statement in workload.overload_transition():
+        processor.execute_user(statement)
+    result = processor.run()
+    print("\n== one concrete run ==")
+    print(f"steps: {len(result.steps)}  outcome: {result.outcome}")
+    branches = processor.database.table("branch").value_tuples()
+    nodes = processor.database.table("node").value_tuples()
+    print("branches (id, src, dst, load, capacity):", branches)
+    print("nodes    (id, demand, supply):          ", nodes)
+    assert all(load <= capacity for *_, load, capacity in branches)
+    assert all(demand <= supply for __, demand, supply in nodes)
+    print("invariants restored.")
+
+
+if __name__ == "__main__":
+    main()

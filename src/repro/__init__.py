@@ -1,0 +1,93 @@
+"""repro — Behavior of Database Production Rules (SIGMOD 1992), reproduced.
+
+A complete implementation of Aiken, Widom & Hellerstein's static
+analyses for database production rules — termination (triggering
+graphs), confluence (the Confluence Requirement over rule
+commutativity), partial confluence (significant rule sets), and
+observable determinism (the ``Obs`` reduction) — together with the full
+substrate they are defined over: a Starburst-style rule language and
+rule processor on a small relational engine with net-effect transition
+semantics, plus an execution-graph oracle for validating every verdict.
+
+Quickstart::
+
+    from repro import Database, RuleAnalyzer, RuleSet, schema_from_spec
+
+    schema = schema_from_spec({"emp": ["id", "dept", "salary"]})
+    rules = RuleSet.parse('''
+        create rule cap_salary on emp
+        when updated(salary)
+        if exists (select * from new_updated where salary > 100)
+        then update emp set salary = 100 where salary > 100
+    ''', schema)
+
+    analyzer = RuleAnalyzer(rules)
+    report = analyzer.analyze()
+    print(report.summary())
+"""
+
+from repro.schema.catalog import (
+    ColumnDef,
+    ColumnType,
+    Schema,
+    TableDef,
+    schema_from_spec,
+)
+from repro.engine.database import Database
+from repro.engine.dml import execute_statement
+from repro.lang.parser import (
+    parse_expression,
+    parse_rule,
+    parse_rules,
+    parse_statement,
+)
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.rules.events import TriggerEvent
+from repro.runtime.processor import RuleProcessor
+from repro.runtime.exec_graph import ExecutionGraph, explore, explore_ruleset
+from repro.analysis.analyzer import AnalysisReport, RuleAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.incremental import IncrementalAnalyzer
+from repro.analysis.report import render_markdown
+from repro.runtime.trace import render_trace, trace_run
+from repro.validate.oracle import OracleVerdict, oracle_verdict
+from repro.validate.sampling import SampleReport, sample_runs
+from repro.validate.soundness import SoundnessReport, check_soundness
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColumnDef",
+    "ColumnType",
+    "Schema",
+    "TableDef",
+    "schema_from_spec",
+    "Database",
+    "execute_statement",
+    "parse_expression",
+    "parse_rule",
+    "parse_rules",
+    "parse_statement",
+    "Rule",
+    "RuleSet",
+    "TriggerEvent",
+    "RuleProcessor",
+    "ExecutionGraph",
+    "explore",
+    "explore_ruleset",
+    "AnalysisReport",
+    "RuleAnalyzer",
+    "DerivedDefinitions",
+    "IncrementalAnalyzer",
+    "render_markdown",
+    "render_trace",
+    "trace_run",
+    "OracleVerdict",
+    "oracle_verdict",
+    "SampleReport",
+    "sample_runs",
+    "SoundnessReport",
+    "check_soundness",
+    "__version__",
+]

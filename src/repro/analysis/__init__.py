@@ -1,0 +1,102 @@
+"""Static analysis of production-rule behavior — the paper's contribution.
+
+* :mod:`repro.analysis.derived` — Section 3's preliminary definitions
+  (``Triggered-By``, ``Performs``, ``Triggers``, ``Reads``,
+  ``Can-Untrigger``, ``Observable``).
+* :mod:`repro.analysis.termination` — Section 5: triggering graph,
+  Theorem 5.1, cycle reporting and certification.
+* :mod:`repro.analysis.commutativity` — Section 6.1: Lemma 6.1's
+  syntactic conditions with user certifications.
+* :mod:`repro.analysis.confluence` — Sections 6.3–6.4: the Confluence
+  Requirement (Definition 6.5) and repair suggestions.
+* :mod:`repro.analysis.partial_confluence` — Section 7: ``Sig(T')`` and
+  Theorem 7.2.
+* :mod:`repro.analysis.observable` — Section 8: the ``Obs`` reduction
+  and Theorem 8.1.
+* :mod:`repro.analysis.corollaries` — Corollaries 6.8–6.10 and 8.2.
+* :mod:`repro.analysis.analyzer` — the interactive facade tying it all
+  together (the paper's envisioned development environment).
+"""
+
+from repro.analysis.derived import (
+    DerivedDefinitions,
+    ObsExtendedDefinitions,
+    OBS_TABLE,
+)
+from repro.analysis.commutativity import (
+    CommutativityAnalyzer,
+    NoncommutativityReason,
+)
+from repro.analysis.termination import (
+    TerminationAnalysis,
+    TerminationAnalyzer,
+    TriggeringGraph,
+)
+from repro.analysis.confluence import (
+    ConfluenceAnalysis,
+    ConfluenceAnalyzer,
+    ConfluenceViolation,
+    RepairSuggestion,
+    build_interference_sets,
+)
+from repro.analysis.partial_confluence import (
+    PartialConfluenceAnalysis,
+    PartialConfluenceAnalyzer,
+    significant_rules,
+)
+from repro.analysis.observable import (
+    ObservableDeterminismAnalysis,
+    ObservableDeterminismAnalyzer,
+)
+from repro.analysis.corollaries import (
+    CorollaryViolation,
+    check_corollary_6_8,
+    check_corollary_6_9,
+    check_corollary_6_10,
+    check_corollary_8_2,
+)
+from repro.analysis.analyzer import AnalysisReport, RuleAnalyzer
+from repro.analysis.incremental import (
+    IncrementalAnalyzer,
+    IncrementalReport,
+    PartitionResult,
+)
+from repro.analysis.partitioning import partition_rules
+from repro.analysis.restricted import (
+    initially_triggerable_rules,
+    reachable_rules,
+)
+
+__all__ = [
+    "DerivedDefinitions",
+    "ObsExtendedDefinitions",
+    "OBS_TABLE",
+    "CommutativityAnalyzer",
+    "NoncommutativityReason",
+    "TerminationAnalysis",
+    "TerminationAnalyzer",
+    "TriggeringGraph",
+    "ConfluenceAnalysis",
+    "ConfluenceAnalyzer",
+    "ConfluenceViolation",
+    "RepairSuggestion",
+    "build_interference_sets",
+    "PartialConfluenceAnalysis",
+    "PartialConfluenceAnalyzer",
+    "significant_rules",
+    "ObservableDeterminismAnalysis",
+    "ObservableDeterminismAnalyzer",
+    "CorollaryViolation",
+    "check_corollary_6_8",
+    "check_corollary_6_9",
+    "check_corollary_6_10",
+    "check_corollary_8_2",
+    "AnalysisReport",
+    "RuleAnalyzer",
+    "IncrementalAnalyzer",
+    "IncrementalReport",
+    "PartitionResult",
+    "partition_rules",
+    "initially_triggerable_rules",
+    "reachable_rules",
+]

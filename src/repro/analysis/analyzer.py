@@ -1,0 +1,245 @@
+"""The interactive analyzer facade.
+
+The paper positions its algorithms as "the basis of an interactive
+development environment for rule programmers": analyze → inspect the
+isolated problems → certify commutativity / certify cycle progress /
+add priorities → re-analyze. :class:`RuleAnalyzer` is that loop as an
+API, holding the user's accumulated certifications and priority edits
+across re-analyses.
+
+Typical use::
+
+    analyzer = RuleAnalyzer(ruleset)
+    report = analyzer.analyze()
+    if not report.confluent:
+        for violation in report.confluence.violations:
+            print(violation.describe())
+        analyzer.certify_commutes("audit_a", "audit_b")
+        analyzer.add_priority("deduct", "refill")
+        report = analyzer.analyze()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.confluence import ConfluenceAnalysis, ConfluenceAnalyzer
+from repro.analysis.corollaries import (
+    CorollaryViolation,
+    check_corollary_6_8,
+    check_corollary_6_10,
+    check_corollary_8_2,
+)
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.observable import (
+    ObservableDeterminismAnalysis,
+    ObservableDeterminismAnalyzer,
+)
+from repro.analysis.partial_confluence import (
+    PartialConfluenceAnalysis,
+    PartialConfluenceAnalyzer,
+)
+from repro.analysis.termination import TerminationAnalysis, TerminationAnalyzer
+from repro.rules.ruleset import RuleSet
+
+
+@dataclass
+class AnalysisReport:
+    """The combined verdicts for one analysis pass."""
+
+    termination: TerminationAnalysis
+    confluence: ConfluenceAnalysis
+    observable_determinism: ObservableDeterminismAnalysis
+
+    @property
+    def terminates(self) -> bool:
+        return self.termination.guaranteed
+
+    @property
+    def confluent(self) -> bool:
+        """Theorem 6.7's combined verdict."""
+        return self.confluence.confluent(self.termination.guaranteed)
+
+    @property
+    def observably_deterministic(self) -> bool:
+        return self.observable_determinism.observably_deterministic
+
+    def summary(self) -> str:
+        lines = [
+            f"termination:            {self.termination.describe()}",
+            f"confluence:             {self.confluence.describe()}",
+            f"observable determinism: {self.observable_determinism.describe()}",
+        ]
+        return "\n".join(lines)
+
+
+class RuleAnalyzer:
+    """Stateful analysis session over one rule set.
+
+    ``refine=True`` turns on the automatic special-case commutativity
+    refinements (both of Lemma 6.1's "actually commute" examples are
+    then discharged without user certification — see
+    :class:`~repro.analysis.commutativity.CommutativityAnalyzer`).
+    """
+
+    def __init__(self, ruleset: RuleSet, refine: bool = False) -> None:
+        self.ruleset = ruleset
+        self.refine = refine
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.definitions = DerivedDefinitions(self.ruleset)
+        self.commutativity = CommutativityAnalyzer(
+            self.definitions, refine=self.refine
+        )
+        self.termination_analyzer = TerminationAnalyzer(self.definitions)
+
+    # ------------------------------------------------------------------
+    # User interaction: certifications and priority edits
+    # ------------------------------------------------------------------
+
+    def certify_commutes(self, first: str, second: str) -> None:
+        """Declare that two rules that appear noncommutative by Lemma 6.1
+        actually commute (Section 6.1's user escape hatch)."""
+        self.commutativity.certify_commutes(first, second)
+
+    def certify_termination(self, rule: str) -> None:
+        """Declare that cycles through *rule* make progress (its
+        condition eventually false or action eventually a no-op) —
+        Section 5's interactive cycle certification."""
+        self.termination_analyzer.certify_rule(rule)
+
+    def add_priority(self, higher: str, lower: str) -> None:
+        """Add a priority ordering (as if editing precedes/follows)."""
+        self.ruleset.add_priority(higher, lower)
+
+    def remove_priority(self, higher: str, lower: str) -> bool:
+        return self.ruleset.remove_priority(higher, lower)
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+
+    def analyze_termination(self) -> TerminationAnalysis:
+        return self.termination_analyzer.analyze()
+
+    def analyze_confluence(self) -> ConfluenceAnalysis:
+        return ConfluenceAnalyzer(
+            self.definitions, self.ruleset.priorities, self.commutativity
+        ).analyze()
+
+    def analyze_partial_confluence(
+        self, tables: Iterable[str]
+    ) -> PartialConfluenceAnalysis:
+        return PartialConfluenceAnalyzer(
+            self.definitions,
+            self.ruleset.priorities,
+            self.commutativity,
+            self.termination_analyzer,
+        ).analyze(tables)
+
+    def analyze_observable_determinism(self) -> ObservableDeterminismAnalysis:
+        return ObservableDeterminismAnalyzer(
+            self.ruleset,
+            priorities=self.ruleset.priorities,
+            # Termination certifications carry over: the triggering graph
+            # is unchanged by the Obs extension.
+            termination_analyzer=self.termination_analyzer,
+            base_commutativity=self.commutativity,
+        ).analyze()
+
+    def analyze(self) -> AnalysisReport:
+        """Run all three analyses and bundle the verdicts."""
+        return AnalysisReport(
+            termination=self.analyze_termination(),
+            confluence=self.analyze_confluence(),
+            observable_determinism=self.analyze_observable_determinism(),
+        )
+
+    def analyze_restricted(self, initial_operations) -> AnalysisReport:
+        """Analyze under restricted user operations (Section 9).
+
+        Only the rules reachable in the triggering graph from rules
+        triggered by *initial_operations* (an iterable of
+        :class:`~repro.rules.events.TriggerEvent`) can ever be
+        considered; the three analyses run on that subset. The session's
+        certifications and priority edits carry over.
+        """
+        from repro.analysis.restricted import reachable_rules
+
+        reachable = reachable_rules(self.definitions, initial_operations)
+        sub_analyzer = RuleAnalyzer(
+            self.ruleset.subset(reachable), refine=self.refine
+        )
+        for pair in self.commutativity.certified_pairs:
+            if pair <= reachable:
+                first, second = sorted(pair)
+                sub_analyzer.certify_commutes(first, second)
+        for rule in self.termination_analyzer.certified_rules:
+            if rule in reachable:
+                sub_analyzer.certify_termination(rule)
+        return sub_analyzer.analyze()
+
+    # ------------------------------------------------------------------
+    # Corollary checks (internal consistency / developer guidelines)
+    # ------------------------------------------------------------------
+
+    def corollary_violations(self) -> list[CorollaryViolation]:
+        """Corollaries 6.8 and 6.10 must hold whenever our confluence
+        analysis accepts; 8.2 whenever observable determinism is
+        accepted. Returns any counterexamples found (should be empty for
+        accepted rule sets — the property tests rely on this)."""
+        violations: list[CorollaryViolation] = []
+        report = self.analyze()
+        if report.confluent:
+            violations.extend(
+                check_corollary_6_8(
+                    self.definitions, self.ruleset.priorities, self.commutativity
+                )
+            )
+            violations.extend(
+                check_corollary_6_10(self.definitions, self.ruleset.priorities)
+            )
+        if report.observably_deterministic:
+            violations.extend(
+                check_corollary_8_2(self.definitions, self.ruleset.priorities)
+            )
+        return violations
+
+    # ------------------------------------------------------------------
+    # Automated repair loop (programmatic version of Section 6.4)
+    # ------------------------------------------------------------------
+
+    def repair_confluence(
+        self,
+        oracle_commutes=None,
+        max_rounds: int = 100,
+    ) -> tuple[ConfluenceAnalysis, list[str]]:
+        """Iteratively repair non-confluence, recording each action.
+
+        For every violation round: if ``oracle_commutes(r1, r2)`` says
+        the witness pair actually commutes, certify it (Approach 1);
+        otherwise order the responsible unordered pair (Approach 2).
+        ``oracle_commutes`` defaults to never-commutes (pure ordering).
+
+        Returns the final analysis and the log of actions taken — the
+        log length exhibits the paper's "non-confluence moves around"
+        iteration when orderings surface new violating pairs.
+        """
+        actions: list[str] = []
+        for _round in range(max_rounds):
+            analysis = self.analyze_confluence()
+            if analysis.requirement_holds:
+                return analysis, actions
+            violation = analysis.violations[0]
+            pair = (violation.r1_member, violation.r2_member)
+            if oracle_commutes is not None and oracle_commutes(*pair):
+                self.certify_commutes(*pair)
+                actions.append(f"certify({pair[0]}, {pair[1]})")
+                continue
+            higher, lower = violation.pair_first, violation.pair_second
+            self.add_priority(higher, lower)
+            actions.append(f"order({higher} > {lower})")
+        return self.analyze_confluence(), actions

@@ -1,0 +1,137 @@
+"""Corollary checkers — Corollaries 6.8, 6.9, 6.10, and 8.2.
+
+These are *properties guaranteed to hold* of any rule set our analysis
+finds confluent (or observably deterministic). They serve two purposes
+in the reproduction:
+
+1. as simple developer guidelines (the paper's framing), exposed as
+   checkable predicates;
+2. as internal consistency checks — the test suite asserts them for
+   every rule set the analyzers accept, which would catch
+   implementation bugs in Definition 6.5 or the Sig computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.rules.priorities import PriorityRelation
+
+
+@dataclass(frozen=True)
+class CorollaryViolation:
+    """A counterexample to one of the corollaries."""
+
+    corollary: str
+    first: str
+    second: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.corollary}: ({self.first}, {self.second}) — {self.detail}"
+
+
+def check_corollary_6_8(
+    definitions: DerivedDefinitions,
+    priorities: PriorityRelation,
+    commutativity: CommutativityAnalyzer,
+    universe: frozenset[str] | None = None,
+) -> list[CorollaryViolation]:
+    """Corollary 6.8: in a confluent rule set, every unordered pair
+    commutes. Returns violations (empty for any set Definition 6.5
+    accepts)."""
+    names = sorted(universe or definitions.rule_names)
+    violations = []
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            if priorities.are_unordered(first, second) and not (
+                commutativity.commute(first, second)
+            ):
+                violations.append(
+                    CorollaryViolation(
+                        corollary="6.8",
+                        first=first,
+                        second=second,
+                        detail="unordered but noncommutative",
+                    )
+                )
+    return violations
+
+
+def check_corollary_6_9(
+    definitions: DerivedDefinitions,
+    priorities: PriorityRelation,
+    commutativity: CommutativityAnalyzer,
+    universe: frozenset[str] | None = None,
+) -> list[CorollaryViolation]:
+    """Corollary 6.9: if ``P = ∅`` and the set is confluent, *every* pair
+    commutes. Only meaningful when the priority relation is empty."""
+    if not priorities.is_empty():
+        return []
+    names = sorted(universe or definitions.rule_names)
+    violations = []
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            if not commutativity.commute(first, second):
+                violations.append(
+                    CorollaryViolation(
+                        corollary="6.9",
+                        first=first,
+                        second=second,
+                        detail="P is empty but the pair is noncommutative",
+                    )
+                )
+    return violations
+
+
+def check_corollary_6_10(
+    definitions: DerivedDefinitions,
+    priorities: PriorityRelation,
+    universe: frozenset[str] | None = None,
+) -> list[CorollaryViolation]:
+    """Corollary 6.10: in a confluent rule set, if ``ri`` may trigger
+    ``rj`` (or vice versa) then the two are ordered."""
+    names = sorted(universe or definitions.rule_names)
+    violations = []
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            may_trigger = (
+                second in definitions.triggers(first)
+                or first in definitions.triggers(second)
+            )
+            if may_trigger and priorities.are_unordered(first, second):
+                violations.append(
+                    CorollaryViolation(
+                        corollary="6.10",
+                        first=first,
+                        second=second,
+                        detail="one may trigger the other but they are unordered",
+                    )
+                )
+    return violations
+
+
+def check_corollary_8_2(
+    definitions: DerivedDefinitions,
+    priorities: PriorityRelation,
+) -> list[CorollaryViolation]:
+    """Corollary 8.2: in an observably deterministic rule set, every two
+    distinct observable rules are ordered."""
+    observable = sorted(
+        name for name in definitions.rule_names if definitions.observable(name)
+    )
+    violations = []
+    for i, first in enumerate(observable):
+        for second in observable[i + 1 :]:
+            if priorities.are_unordered(first, second):
+                violations.append(
+                    CorollaryViolation(
+                        corollary="8.2",
+                        first=first,
+                        second=second,
+                        detail="both observable but unordered",
+                    )
+                )
+    return violations

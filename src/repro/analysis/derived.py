@@ -1,0 +1,317 @@
+"""Preliminary static analysis: the derived definitions of Section 3.
+
+For a rule set ``R`` over schema tables ``T`` with columns ``C`` and
+operation set ``O``, this module computes:
+
+* ``Triggered-By(r)`` — operations in ``O`` that trigger ``r`` (held on
+  the :class:`~repro.rules.rule.Rule` itself, re-exposed here);
+* ``Performs(r)``    — operations ``r``'s action may perform;
+* ``Triggers(r)``    — ``{r' ∈ R | Performs(r) ∩ Triggered-By(r') ≠ ∅}``;
+* ``Reads(r)``       — columns ``r`` may read in its condition or action,
+  with every transition-table reference contributing the corresponding
+  column of the rule's own table;
+* ``Can-Untrigger(O')`` — rules whose triggering can be undone by the
+  deletions in ``O'``;
+* ``Observable(r)``  — whether ``r``'s action may be observable.
+
+Everything is purely syntactic (computed from the rule ASTs) and
+conservative, exactly as in the paper.
+
+The module also provides the ``Obs`` extension of Section 8: extended
+``Reads``/``Performs`` where every observable rule additionally reads
+column ``Obs.c`` and performs ``(I, Obs)`` on a fictional table whose
+name (:data:`OBS_TABLE`) cannot collide with parser-produced names.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lang import ast
+from repro.rules.events import TriggerEvent
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+#: Name of the fictional observation-log table (Section 8). Contains a
+#: character that cannot appear in a parsed identifier, so it can never
+#: collide with a real table.
+OBS_TABLE = "@obs"
+
+#: The single column of the fictional Obs table.
+OBS_COLUMN = "c"
+
+
+class DerivedDefinitions:
+    """The Section 3 definitions, computed once per rule set.
+
+    All methods take and return lower-cased rule names; reads are
+    ``(table, column)`` pairs and operations are
+    :class:`~repro.rules.events.TriggerEvent` values.
+    """
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        self.ruleset = ruleset
+        self._triggered_by: dict[str, frozenset[TriggerEvent]] = {}
+        self._performs: dict[str, frozenset[TriggerEvent]] = {}
+        self._reads: dict[str, frozenset[tuple[str, str]]] = {}
+        self._observable: dict[str, bool] = {}
+        for rule in ruleset:
+            self._triggered_by[rule.name] = rule.triggered_by
+            self._performs[rule.name] = _compute_performs(rule)
+            self._reads[rule.name] = _compute_reads(rule)
+            self._observable[rule.name] = rule.is_observable
+        self._triggers: dict[str, frozenset[str]] = {
+            name: frozenset(
+                other
+                for other in self._triggered_by
+                if self._performs[name] & self._triggered_by[other]
+            )
+            for name in self._triggered_by
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rule_names(self) -> tuple[str, ...]:
+        return self.ruleset.names
+
+    def triggered_by(self, rule: str) -> frozenset[TriggerEvent]:
+        return self._triggered_by[rule.lower()]
+
+    def performs(self, rule: str) -> frozenset[TriggerEvent]:
+        return self._performs[rule.lower()]
+
+    def triggers(self, rule: str) -> frozenset[str]:
+        return self._triggers[rule.lower()]
+
+    def reads(self, rule: str) -> frozenset[tuple[str, str]]:
+        return self._reads[rule.lower()]
+
+    def observable(self, rule: str) -> bool:
+        return self._observable[rule.lower()]
+
+    def can_untrigger(
+        self, operations: Iterable[TriggerEvent]
+    ) -> frozenset[str]:
+        """``Can-Untrigger(O')`` — rules that deletions in *operations*
+        can untrigger: rules triggered by insertions into, or updates of,
+        a table that *operations* deletes from."""
+        deleted_tables = {
+            event.table for event in operations if event.kind == "D"
+        }
+        if not deleted_tables:
+            return frozenset()
+        untriggerable = set()
+        for name, events in self._triggered_by.items():
+            for event in events:
+                if event.kind in ("I", "U") and event.table in deleted_tables:
+                    untriggerable.add(name)
+                    break
+        return frozenset(untriggerable)
+
+
+class ObsExtendedDefinitions(DerivedDefinitions):
+    """Section 8's extended definitions over ``T ∪ {Obs}``.
+
+    Every observable rule's ``Reads`` gains ``Obs.c`` and its
+    ``Performs`` gains ``(I, Obs)``. ``Triggers`` is *not* extended: no
+    rule is triggered by the fictional table, so triggering behavior is
+    unchanged — only the commutativity conditions see the extension
+    (via conditions 3 and 4 of Lemma 6.1, which is exactly what forces
+    any two observable rules to be noncommutative).
+    """
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        super().__init__(ruleset)
+        obs_insert = TriggerEvent.insert(OBS_TABLE)
+        obs_read = (OBS_TABLE, OBS_COLUMN)
+        for name, is_observable in self._observable.items():
+            if is_observable:
+                self._performs[name] = self._performs[name] | {obs_insert}
+                self._reads[name] = self._reads[name] | {obs_read}
+
+
+# ----------------------------------------------------------------------
+# Performs
+# ----------------------------------------------------------------------
+
+
+def _compute_performs(rule: Rule) -> frozenset[TriggerEvent]:
+    """``Performs(r)``: one event per DML statement target.
+
+    * ``insert into t ...``       → ``(I, t)``
+    * ``delete from t ...``       → ``(D, t)``
+    * ``update t set c = ...``    → ``(U, t.c)`` for each assigned column
+    * ``select`` / ``rollback``   → no modification events
+    """
+    events: set[TriggerEvent] = set()
+    for action in rule.actions:
+        if isinstance(action, ast.Insert):
+            events.add(TriggerEvent.insert(action.table))
+        elif isinstance(action, ast.Delete):
+            events.add(TriggerEvent.delete(action.table))
+        elif isinstance(action, ast.Update):
+            for assignment in action.assignments:
+                events.add(
+                    TriggerEvent.update(action.table, assignment.column)
+                )
+    return frozenset(events)
+
+
+# ----------------------------------------------------------------------
+# Reads
+# ----------------------------------------------------------------------
+
+
+class _Scope:
+    """One level of table bindings for column-reference resolution.
+
+    Maps binding names (table name or alias) to the *actual* table read:
+    a transition-table binding resolves to the rule's own table, per the
+    paper ("for every (trans).c referenced ... t.c is in Reads(r) for
+    r's triggering table t").
+    """
+
+    def __init__(self, outer: "_Scope | None" = None) -> None:
+        self.bindings: dict[str, str] = {}
+        self.outer = outer
+
+    def bind(self, name: str, actual_table: str) -> None:
+        self.bindings[name.lower()] = actual_table.lower()
+
+    def resolve_qualified(self, binding: str) -> str | None:
+        scope: _Scope | None = self
+        binding = binding.lower()
+        while scope is not None:
+            if binding in scope.bindings:
+                return scope.bindings[binding]
+            scope = scope.outer
+        return None
+
+    def candidate_tables(self, column: str, rule: Rule) -> list[str]:
+        """Tables that could supply an unqualified *column*: every bound
+        table (innermost level first) that has the column."""
+        scope: _Scope | None = self
+        column = column.lower()
+        while scope is not None:
+            found = [
+                actual
+                for actual in scope.bindings.values()
+                if rule.schema.has_table(actual)
+                and rule.schema.table(actual).has_column(column)
+            ]
+            if found:
+                return found
+            scope = scope.outer
+        return []
+
+
+def _compute_reads(rule: Rule) -> frozenset[tuple[str, str]]:
+    """``Reads(r)``: every ``t.c`` referenced in a select or where clause
+    of ``r``'s condition or action (conservatively resolved)."""
+    reads: set[tuple[str, str]] = set()
+    root = _Scope()
+
+    if rule.condition is not None:
+        _reads_of_expression(rule.condition, root, rule, reads)
+
+    for action in rule.actions:
+        if isinstance(action, ast.Select):
+            _reads_of_select(action, root, rule, reads)
+        elif isinstance(action, ast.Insert):
+            scope = _Scope(outer=root)
+            for row in action.rows:
+                for value in row:
+                    _reads_of_expression(value, scope, rule, reads)
+            if action.query is not None:
+                _reads_of_select(action.query, root, rule, reads)
+        elif isinstance(action, ast.Delete):
+            scope = _Scope(outer=root)
+            _bind_table(scope, action.alias or action.table, action.table, rule)
+            if action.alias:
+                _bind_table(scope, action.table, action.table, rule)
+            if action.where is not None:
+                _reads_of_expression(action.where, scope, rule, reads)
+        elif isinstance(action, ast.Update):
+            scope = _Scope(outer=root)
+            _bind_table(scope, action.alias or action.table, action.table, rule)
+            if action.alias:
+                _bind_table(scope, action.table, action.table, rule)
+            for assignment in action.assignments:
+                _reads_of_expression(assignment.value, scope, rule, reads)
+            if action.where is not None:
+                _reads_of_expression(action.where, scope, rule, reads)
+    return frozenset(reads)
+
+
+def _bind_table(scope: _Scope, binding: str, table: str, rule: Rule) -> None:
+    table = table.lower()
+    if table in ast.TRANSITION_TABLE_NAMES:
+        scope.bind(binding, rule.table)
+    else:
+        scope.bind(binding, table)
+
+
+def _reads_of_select(
+    select: ast.Select,
+    outer: _Scope,
+    rule: Rule,
+    reads: set[tuple[str, str]],
+) -> None:
+    scope = _Scope(outer=outer)
+    from_tables: list[str] = []
+    for ref in select.tables:
+        _bind_table(scope, ref.binding_name, ref.name, rule)
+        actual = (
+            rule.table
+            if ref.name.lower() in ast.TRANSITION_TABLE_NAMES
+            else ref.name.lower()
+        )
+        from_tables.append(actual)
+
+    if select.is_star:
+        for table in from_tables:
+            if rule.schema.has_table(table):
+                for column in rule.schema.table(table).column_names:
+                    reads.add((table, column))
+    else:
+        for item in select.items:
+            _reads_of_expression(item.expr, scope, rule, reads)
+
+    if select.where is not None:
+        _reads_of_expression(select.where, scope, rule, reads)
+    for key in select.group_by:
+        _reads_of_expression(key, scope, rule, reads)
+    if select.having is not None:
+        _reads_of_expression(select.having, scope, rule, reads)
+
+
+def _reads_of_expression(
+    expr: ast.Expression,
+    scope: _Scope,
+    rule: Rule,
+    reads: set[tuple[str, str]],
+) -> None:
+    for node in ast.walk_expression(expr):
+        if isinstance(node, ast.ColumnRef):
+            if node.table:
+                actual = scope.resolve_qualified(node.table)
+                if actual is None:
+                    # A qualified reference to an unbound name: resolve
+                    # transition tables to the rule's table; otherwise
+                    # assume it names a base table directly.
+                    if node.table.lower() in ast.TRANSITION_TABLE_NAMES:
+                        actual = rule.table
+                    else:
+                        actual = node.table.lower()
+                if rule.schema.has_table(actual) and rule.schema.table(
+                    actual
+                ).has_column(node.column):
+                    reads.add((actual, node.column.lower()))
+            else:
+                for table in scope.candidate_tables(node.column, rule):
+                    reads.add((table, node.column.lower()))
+        elif isinstance(node, (ast.InSubquery, ast.Exists)):
+            _reads_of_select(node.subquery, scope, rule, reads)
+        elif isinstance(node, ast.ScalarSubquery):
+            _reads_of_select(node.subquery, scope, rule, reads)

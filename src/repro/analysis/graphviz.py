@@ -1,0 +1,98 @@
+"""Graphviz (DOT) export of the analysis and execution graphs.
+
+The paper's interactive environment is fundamentally about *showing*
+rule programmers the structure of their rule sets; DOT output plugs
+into any Graphviz toolchain. No Graphviz dependency is required — these
+functions only emit text.
+
+* :func:`triggering_graph_dot` — ``TG_R`` with cyclic strong components
+  highlighted and priority edges drawn dashed;
+* :func:`execution_graph_dot` — an explored execution graph with final
+  states doubled and edge labels naming the considered rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.termination import TriggeringGraph
+from repro.rules.priorities import PriorityRelation
+from repro.runtime.exec_graph import ExecutionGraph
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def triggering_graph_dot(
+    graph: TriggeringGraph,
+    priorities: PriorityRelation | None = None,
+    certified: frozenset[str] = frozenset(),
+) -> str:
+    """Render ``TG_R`` as DOT.
+
+    Rules on a cyclic strong component are filled red (or green when
+    certified); ``Triggers`` edges are solid, direct priority edges
+    dashed grey.
+    """
+    cyclic_members: set[str] = set()
+    for component in graph.cyclic_components():
+        cyclic_members |= component
+
+    lines = ["digraph triggering_graph {", "  rankdir=LR;"]
+    lines.append("  node [shape=box, style=rounded];")
+    for node in graph.nodes:
+        attributes = []
+        if node in cyclic_members:
+            color = "palegreen" if node in certified else "lightcoral"
+            attributes.append(f'style="rounded,filled", fillcolor={color}')
+        rendered = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  {_quote(node)}{rendered};")
+
+    for source in graph.nodes:
+        for target in sorted(graph.successors[source]):
+            lines.append(f"  {_quote(source)} -> {_quote(target)};")
+
+    if priorities is not None:
+        for higher, lower in sorted(priorities.direct_pairs()):
+            lines.append(
+                f"  {_quote(higher)} -> {_quote(lower)} "
+                '[style=dashed, color=grey, label="precedes"];'
+            )
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def execution_graph_dot(graph: ExecutionGraph) -> str:
+    """Render an explored execution graph as DOT.
+
+    States are numbered in discovery-stable order (sorted by key);
+    the initial state is bolded, final states use double circles.
+    """
+    keys = sorted(
+        set(graph.edges)
+        | graph.final_states
+        | {graph.initial}
+        | {child for successors in graph.edges.values() for __, child in successors},
+        key=repr,
+    )
+    index = {key: position for position, key in enumerate(keys)}
+
+    lines = ["digraph execution_graph {"]
+    for key in keys:
+        attributes = ["shape=circle", f'label="S{index[key]}"']
+        if key in graph.final_states:
+            attributes[0] = "shape=doublecircle"
+        if key == graph.initial:
+            attributes.append("penwidth=2")
+        lines.append(f"  s{index[key]} [{', '.join(attributes)}];")
+
+    for key, successors in graph.edges.items():
+        for rule, child in successors:
+            lines.append(
+                f"  s{index[key]} -> s{index[child]} "
+                f"[label={_quote(rule)}];"
+            )
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,67 @@
+"""Rule-set partitioning for incremental analysis (Section 9 future work).
+
+"Most rule applications can be partitioned into groups of rules such
+that, across partitions, rules reference different sets of tables and
+have no priority ordering. ... analysis can be applied separately to
+each partition, and it needs to be repeated for a partition only when
+rules in that partition change."
+
+Two rules belong to the same partition when they share any table (in
+``Triggered-By``, ``Performs`` or ``Reads``) or are related by a
+priority ordering. Partitions are the connected components of that
+relation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.derived import DerivedDefinitions
+from repro.rules.priorities import PriorityRelation
+
+
+def _touched_tables(definitions: DerivedDefinitions, rule: str) -> frozenset[str]:
+    tables = {event.table for event in definitions.triggered_by(rule)}
+    tables |= {event.table for event in definitions.performs(rule)}
+    tables |= {table for table, __ in definitions.reads(rule)}
+    return frozenset(tables)
+
+
+def partition_rules(
+    definitions: DerivedDefinitions,
+    priorities: PriorityRelation,
+) -> list[frozenset[str]]:
+    """Partition the rule set into independent groups.
+
+    Returns the partitions sorted by their smallest member, each a
+    frozenset of rule names. Analyses run on one partition are
+    unaffected by rules in the others (they share no tables and no
+    orderings), so each may be re-analyzed independently.
+    """
+    names = list(definitions.rule_names)
+    parent: dict[str, str] = {name: name for name in names}
+
+    def find(node: str) -> str:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(first: str, second: str) -> None:
+        root_first, root_second = find(first), find(second)
+        if root_first != root_second:
+            parent[root_second] = root_first
+
+    tables = {name: _touched_tables(definitions, name) for name in names}
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            if tables[first] & tables[second]:
+                union(first, second)
+            elif priorities.are_ordered(first, second):
+                union(first, second)
+
+    groups: dict[str, set[str]] = {}
+    for name in names:
+        groups.setdefault(find(name), set()).add(name)
+    return sorted(
+        (frozenset(group) for group in groups.values()),
+        key=lambda group: min(group),
+    )

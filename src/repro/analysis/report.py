@@ -1,0 +1,186 @@
+"""Markdown rendering of a full analysis — the shareable artifact of the
+paper's interactive development environment.
+
+:func:`render_markdown` produces a self-contained document: the rule
+inventory with derived definitions, the triggering graph and its
+cycles, all three property verdicts with isolated problems and repair
+suggestions, and (optionally) partial-confluence sections per requested
+table group.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.analyzer import AnalysisReport, RuleAnalyzer
+from repro.rules.ruleset import RuleSet
+
+
+def render_markdown(
+    analyzer: RuleAnalyzer,
+    report: AnalysisReport | None = None,
+    partial_tables: Iterable[Iterable[str]] = (),
+) -> str:
+    """Render a full markdown analysis report for *analyzer*'s rule set."""
+    ruleset = analyzer.ruleset
+    if report is None:
+        report = analyzer.analyze()
+
+    lines: list[str] = []
+    lines.append(f"# Rule analysis report — {len(ruleset)} rules")
+    lines.append("")
+
+    _verdict_table(lines, report)
+    _rule_inventory(lines, analyzer, ruleset)
+    _triggering_graph(lines, analyzer, report)
+    _confluence_section(lines, report)
+    _observable_section(lines, report)
+
+    for tables in partial_tables:
+        _partial_section(lines, analyzer, list(tables))
+
+    return "\n".join(lines) + "\n"
+
+
+def _verdict_table(lines: list[str], report: AnalysisReport) -> None:
+    def verdict(value: bool) -> str:
+        return "**guaranteed**" if value else "*may not hold*"
+
+    lines.append("## Verdicts")
+    lines.append("")
+    lines.append("| property | verdict |")
+    lines.append("|---|---|")
+    lines.append(f"| termination | {verdict(report.terminates)} |")
+    lines.append(f"| confluence | {verdict(report.confluent)} |")
+    lines.append(
+        f"| observable determinism | {verdict(report.observably_deterministic)} |"
+    )
+    lines.append("")
+
+
+def _rule_inventory(
+    lines: list[str], analyzer: RuleAnalyzer, ruleset: RuleSet
+) -> None:
+    definitions = analyzer.definitions
+    lines.append("## Rules")
+    lines.append("")
+    lines.append(
+        "| rule | on | triggered by | performs | observable |"
+    )
+    lines.append("|---|---|---|---|---|")
+    for rule in ruleset:
+        triggered_by = ", ".join(
+            sorted(str(event) for event in definitions.triggered_by(rule.name))
+        )
+        performs = ", ".join(
+            sorted(str(event) for event in definitions.performs(rule.name))
+        )
+        observable = "yes" if definitions.observable(rule.name) else ""
+        lines.append(
+            f"| `{rule.name}` | `{rule.table}` | {triggered_by} | "
+            f"{performs or '—'} | {observable} |"
+        )
+    lines.append("")
+
+    pairs = sorted(ruleset.priorities.direct_pairs())
+    if pairs:
+        lines.append("Priorities (direct): " + ", ".join(
+            f"`{higher}` > `{lower}`" for higher, lower in pairs
+        ))
+        lines.append("")
+
+
+def _triggering_graph(
+    lines: list[str], analyzer: RuleAnalyzer, report: AnalysisReport
+) -> None:
+    lines.append("## Triggering graph (Theorem 5.1)")
+    lines.append("")
+    graph = analyzer.termination_analyzer.graph
+    edges = graph.edges()
+    if edges:
+        lines.append(
+            "Edges: "
+            + ", ".join(f"`{source}` → `{target}`" for source, target in edges)
+        )
+    else:
+        lines.append("No triggering edges.")
+    lines.append("")
+
+    termination = report.termination
+    if termination.cyclic_components:
+        lines.append("Cyclic rule groups:")
+        lines.append("")
+        for component in termination.cyclic_components:
+            members = ", ".join(f"`{name}`" for name in sorted(component))
+            suffix = []
+            auto = termination.auto_certifiable.get(component, frozenset())
+            if auto:
+                suffix.append(
+                    "auto-certifiable: "
+                    + ", ".join(f"`{name}`" for name in sorted(auto))
+                )
+            if component & termination.certified_rules:
+                suffix.append("certified by user")
+            detail = f" ({'; '.join(suffix)})" if suffix else ""
+            lines.append(f"- {{{members}}}{detail}")
+        lines.append("")
+
+
+def _confluence_section(lines: list[str], report: AnalysisReport) -> None:
+    lines.append("## Confluence (Definition 6.5)")
+    lines.append("")
+    confluence = report.confluence
+    lines.append(
+        f"{confluence.pairs_examined} unordered pairs examined; "
+        f"{len(confluence.violations)} violations."
+    )
+    lines.append("")
+    if confluence.violations:
+        lines.append("| unordered pair | noncommuting witness | why |")
+        lines.append("|---|---|---|")
+        for violation in confluence.violations:
+            why = "; ".join(str(reason) for reason in violation.reasons)
+            lines.append(
+                f"| (`{violation.pair_first}`, `{violation.pair_second}`) "
+                f"| (`{violation.r1_member}`, `{violation.r2_member}`) "
+                f"| {why} |"
+            )
+        lines.append("")
+        lines.append("Suggested repairs:")
+        lines.append("")
+        for suggestion in confluence.suggestions():
+            lines.append(f"- {suggestion.describe()}")
+        lines.append("")
+
+
+def _observable_section(lines: list[str], report: AnalysisReport) -> None:
+    od = report.observable_determinism
+    lines.append("## Observable determinism (Theorem 8.1)")
+    lines.append("")
+    if not od.observable_rules:
+        lines.append("No observable rules.")
+        lines.append("")
+        return
+    lines.append(
+        "Observable rules: "
+        + ", ".join(f"`{name}`" for name in sorted(od.observable_rules))
+        + f"; Sig(Obs) = {{{', '.join(sorted(od.significant))}}}."
+    )
+    lines.append("")
+    if od.confluence.violations:
+        lines.append("Violations in Sig(Obs):")
+        lines.append("")
+        for violation in od.confluence.violations:
+            lines.append(f"- {violation.describe()}")
+        lines.append("")
+
+
+def _partial_section(
+    lines: list[str], analyzer: RuleAnalyzer, tables: list[str]
+) -> None:
+    analysis = analyzer.analyze_partial_confluence(tables)
+    title = ", ".join(sorted(analysis.tables))
+    lines.append(f"## Partial confluence w.r.t. {{{title}}} (Theorem 7.2)")
+    lines.append("")
+    lines.append(analysis.describe())
+    lines.append("")

@@ -1,0 +1,50 @@
+"""Analysis under restricted user operations (Section 9 future work).
+
+"In some cases it may be known that [the user-generated operations that
+initiate rule processing] will be of a particular type ... This may
+reduce possible execution paths during rule processing, and consequently
+may guarantee properties that otherwise do not hold."
+
+Given a declared set of initiating operations ``O₀ ⊆ O``, only the rules
+*reachable* in the triggering graph from rules triggered by ``O₀`` can
+ever be considered. Termination and confluence need only be analyzed
+over that reachable subset.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.derived import DerivedDefinitions
+from repro.rules.events import TriggerEvent
+
+
+def initially_triggerable_rules(
+    definitions: DerivedDefinitions,
+    initial_operations: Iterable[TriggerEvent],
+) -> frozenset[str]:
+    """Rules whose transition predicate can hold on the initial transition."""
+    operations = frozenset(initial_operations)
+    return frozenset(
+        name
+        for name in definitions.rule_names
+        if operations & definitions.triggered_by(name)
+    )
+
+
+def reachable_rules(
+    definitions: DerivedDefinitions,
+    initial_operations: Iterable[TriggerEvent],
+) -> frozenset[str]:
+    """All rules that can be considered when user operations are limited
+    to *initial_operations*: the triggering-graph closure of the
+    initially triggerable rules."""
+    frontier = list(initially_triggerable_rules(definitions, initial_operations))
+    reachable: set[str] = set(frontier)
+    while frontier:
+        current = frontier.pop()
+        for successor in definitions.triggers(current):
+            if successor not in reachable:
+                reachable.add(successor)
+                frontier.append(successor)
+    return frozenset(reachable)

@@ -1,0 +1,34 @@
+"""Baseline comparators for the Section 9 subsumption claims.
+
+The paper compares its confluence analysis against prior work on OPS5
+rule sets: [HH91] identifies a class of rule sets with guaranteed
+unique fixed points, and has been shown to subsume [Ras90] and [ZH90].
+The paper proves its Confluence Requirement properly subsumes [HH91]'s
+class: every rule set [HH91] accepts is accepted by Definition 6.5, but
+not vice versa.
+
+None of those checkers were released, so we reconstruct them as
+conservative syntactic classes with the subsumption ordering built in
+**by construction** (see DESIGN.md "Substitutions"):
+
+* :class:`ZH90Checker` — table-granularity non-interference: accepts iff
+  the triggering graph is acyclic and no rule writes a table another
+  rule reads or writes (strictly stronger than commutativity).
+* :class:`HH91Checker` — pairwise-commutativity class: accepts iff the
+  triggering graph is acyclic and *every* pair of distinct rules
+  commutes under the raw Lemma 6.1 conditions (no user certifications).
+* :class:`TotalOrderChecker` — the "impose a total ordering" approach of
+  early OPS5 work: accepts iff the priority relation is a total order
+  (then execution is deterministic trivially).
+
+With these definitions the chain ZH90 ⊆ HH91 ⊆ Definition 6.5 is a
+theorem (each class's condition implies the next's), and the benchmark
+``bench_subsumption`` measures how much *properly* each inclusion gains
+on random rule sets.
+"""
+
+from repro.baselines.hh91 import HH91Checker
+from repro.baselines.zh90 import ZH90Checker
+from repro.baselines.naive import TotalOrderChecker
+
+__all__ = ["HH91Checker", "ZH90Checker", "TotalOrderChecker"]

@@ -1,0 +1,69 @@
+"""[HH91]-style unique-fixed-point class (reconstruction).
+
+Accepts a rule set iff
+
+1. the triggering graph is acyclic (termination), and
+2. **every** pair of distinct rules — ordered or not — commutes under
+   the raw syntactic conditions of Lemma 6.1, with no user
+   certifications.
+
+This is strictly stronger than the paper's Confluence Requirement:
+if all pairs commute then every ``R1 × R2`` pair of Definition 6.5
+commutes trivially, so Definition 6.5 accepts everything this class
+accepts (the subsumption direction proved in Section 9); rule sets
+that use priorities to serialize noncommuting rules are accepted by
+Definition 6.5 but rejected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.termination import TriggeringGraph
+from repro.rules.ruleset import RuleSet
+
+
+@dataclass(frozen=True)
+class BaselineVerdict:
+    """A baseline's accept/reject decision with its reasons."""
+
+    accepts: bool
+    reasons: tuple[str, ...] = ()
+
+
+class HH91Checker:
+    """Pairwise-commutativity unique-fixed-point class."""
+
+    name = "hh91"
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        self.ruleset = ruleset
+        self.definitions = DerivedDefinitions(ruleset)
+        # Raw Lemma 6.1 — deliberately no certification support.
+        self._commutativity = CommutativityAnalyzer(self.definitions)
+
+    def check(self) -> BaselineVerdict:
+        reasons: list[str] = []
+
+        graph = TriggeringGraph(self.definitions)
+        cyclic = graph.cyclic_components()
+        if cyclic:
+            rendered = "; ".join(
+                "{" + ", ".join(sorted(component)) + "}" for component in cyclic
+            )
+            reasons.append(f"triggering graph has cycles: {rendered}")
+
+        names = sorted(self.definitions.rule_names)
+        for i, first in enumerate(names):
+            for second in names[i + 1 :]:
+                if not self._commutativity.commute(first, second):
+                    reasons.append(
+                        f"rules {first!r} and {second!r} do not commute"
+                    )
+
+        return BaselineVerdict(accepts=not reasons, reasons=tuple(reasons))
+
+    def accepts(self) -> bool:
+        return self.check().accepts

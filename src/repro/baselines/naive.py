@@ -1,0 +1,43 @@
+"""Total-ordering baseline.
+
+Early production-system work sidesteps confluence by *imposing* a total
+order on the rules (the paper's Section 1.1: "the goal of previous work
+is to impose restrictions and/or orderings ... such that unique fixed
+points are guaranteed"). This checker accepts a rule set iff its
+priority relation is already a total order — execution graphs then have
+no branches, so confluence and observable determinism hold trivially
+(given termination, which is still checked via the triggering graph).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.termination import TriggeringGraph
+from repro.baselines.hh91 import BaselineVerdict
+from repro.rules.ruleset import RuleSet
+
+
+class TotalOrderChecker:
+    """Accepts iff priorities form a total order (and TG is acyclic)."""
+
+    name = "total-order"
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        self.ruleset = ruleset
+        self.definitions = DerivedDefinitions(ruleset)
+
+    def check(self) -> BaselineVerdict:
+        reasons: list[str] = []
+
+        graph = TriggeringGraph(self.definitions)
+        if graph.cyclic_components():
+            reasons.append("triggering graph has cycles")
+
+        unordered = self.ruleset.priorities.unordered_pairs()
+        for first, second in unordered:
+            reasons.append(f"rules {first!r} and {second!r} are unordered")
+
+        return BaselineVerdict(accepts=not reasons, reasons=tuple(reasons))
+
+    def accepts(self) -> bool:
+        return self.check().accepts

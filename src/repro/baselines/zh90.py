@@ -1,0 +1,69 @@
+"""[ZH90]-style rule-triggering-system class (reconstruction).
+
+Accepts a rule set iff
+
+1. the triggering graph is acyclic, and
+2. rules are non-interfering at **table granularity**: no rule writes a
+   table that any other rule reads or writes (writes = tables appearing
+   in ``Performs``, reads = tables appearing in ``Reads``).
+
+Table-granularity disjointness implies none of Lemma 6.1's conditions
+can fire for any pair, so this class is contained in the
+pairwise-commutativity class of :class:`~repro.baselines.hh91.HH91Checker`
+— reproducing the subsumption chain cited in Section 9 ([HH91] subsumes
+[Ras90, ZH90]).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.termination import TriggeringGraph
+from repro.baselines.hh91 import BaselineVerdict
+from repro.rules.ruleset import RuleSet
+
+
+class ZH90Checker:
+    """Table-granularity non-interference class."""
+
+    name = "zh90"
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        self.ruleset = ruleset
+        self.definitions = DerivedDefinitions(ruleset)
+
+    def check(self) -> BaselineVerdict:
+        reasons: list[str] = []
+
+        graph = TriggeringGraph(self.definitions)
+        cyclic = graph.cyclic_components()
+        if cyclic:
+            rendered = "; ".join(
+                "{" + ", ".join(sorted(component)) + "}" for component in cyclic
+            )
+            reasons.append(f"triggering graph has cycles: {rendered}")
+
+        names = sorted(self.definitions.rule_names)
+        write_tables = {
+            name: {event.table for event in self.definitions.performs(name)}
+            for name in names
+        }
+        touch_tables = {
+            name: write_tables[name]
+            | {table for table, __ in self.definitions.reads(name)}
+            for name in names
+        }
+        for i, first in enumerate(names):
+            for second in names[i + 1 :]:
+                overlap = (write_tables[first] & touch_tables[second]) | (
+                    write_tables[second] & touch_tables[first]
+                )
+                if overlap:
+                    reasons.append(
+                        f"rules {first!r} and {second!r} interfere on "
+                        f"tables {{{', '.join(sorted(overlap))}}}"
+                    )
+
+        return BaselineVerdict(accepts=not reasons, reasons=tuple(reasons))
+
+    def accepts(self) -> bool:
+        return self.check().accepts

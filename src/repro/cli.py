@@ -1,0 +1,290 @@
+"""Command-line analyzer: ``starburst-analyze``.
+
+Reads a schema spec and a rule file, runs the three analyses, and prints
+the report the paper's interactive environment would show: verdicts,
+isolated problem rules, and repair suggestions.
+
+Usage::
+
+    starburst-analyze --schema schema.txt rules.txt
+    starburst-analyze --schema schema.txt rules.txt --tables stock,orders
+    starburst-analyze --schema schema.txt rules.txt --certify-commutes a,b \\
+        --certify-termination shed_overload --order high,low
+    starburst-analyze --schema schema.txt rules.txt \\
+        --data data.txt --run "insert into orders values (1, 2)" --explore
+
+The schema file holds lines of the form ``table: col1, col2, ...``
+(append ``:string``/``:float``/``:bool`` to a column for non-integer
+types). A data file holds lines ``table: (v, v, ...), (v, v, ...)``
+with integer, float, quoted-string, true/false, or null values.
+
+With ``--run`` the rules are also *executed*: the statements form the
+initial transition, rule processing runs to quiescence with a full
+trace, and the final table contents are printed. Adding ``--explore``
+additionally enumerates every execution order (the Section 4 execution
+graph) and reports the observed termination/confluence/determinism of
+this concrete instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.lang.parser import Parser
+from repro.rules.ruleset import RuleSet
+from repro.runtime.exec_graph import explore
+from repro.runtime.processor import RuleProcessor
+from repro.runtime.trace import render_trace, trace_run
+from repro.schema.catalog import Schema, schema_from_spec
+
+
+def load_schema(path: str) -> Schema:
+    spec: dict[str, list[str]] = {}
+    with open(path) as handle:
+        for raw_line in handle:
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            table, __, columns = line.partition(":")
+            spec[table.strip()] = [
+                column.strip() for column in columns.split(",") if column.strip()
+            ]
+    return schema_from_spec(spec)
+
+
+def load_data(path: str, schema: Schema) -> Database:
+    """Load ``table: (v, ...), (v, ...)`` lines into a fresh database."""
+    database = Database(schema)
+    with open(path) as handle:
+        for raw_line in handle:
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            table, __, rows_text = line.partition(":")
+            # Reuse the expression parser for the row tuples: a VALUES
+            # clause has exactly the right shape.
+            parser = Parser(f"insert into {table.strip()} values {rows_text}")
+            statement = parser.parse_statement()
+            from repro.engine.dml import execute_statement
+
+            execute_statement(database, statement)
+    return database
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="starburst-analyze",
+        description=(
+            "Static analysis of Starburst-style production rules: "
+            "termination, confluence, observable determinism "
+            "(Aiken/Widom/Hellerstein, SIGMOD 1992)."
+        ),
+    )
+    parser.add_argument("rules", help="file of create-rule statements")
+    parser.add_argument(
+        "--schema", required=True, help="schema spec file (table: col, col, ...)"
+    )
+    parser.add_argument(
+        "--tables",
+        help="comma-separated tables: also analyze partial confluence w.r.t. them",
+    )
+    parser.add_argument(
+        "--certify-commutes",
+        action="append",
+        default=[],
+        metavar="RULE,RULE",
+        help="declare that a pair of rules actually commutes (repeatable)",
+    )
+    parser.add_argument(
+        "--certify-termination",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="declare that cycles through RULE make progress (repeatable)",
+    )
+    parser.add_argument(
+        "--order",
+        action="append",
+        default=[],
+        metavar="HIGHER,LOWER",
+        help="add a priority ordering (repeatable)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print violations and repair suggestions",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE.md",
+        help="write a full markdown analysis report to FILE.md",
+    )
+    parser.add_argument(
+        "--dot",
+        metavar="FILE.dot",
+        help="write the triggering graph (with priorities and cycle "
+        "highlighting) as Graphviz DOT to FILE.dot",
+    )
+    parser.add_argument(
+        "--data",
+        help="data file (table: (v, ...), ...) loaded before --run",
+    )
+    parser.add_argument(
+        "--run",
+        action="append",
+        default=[],
+        metavar="STATEMENT",
+        help="execute STATEMENT as part of the initial transition, then "
+        "process rules with a full trace (repeatable)",
+    )
+    parser.add_argument(
+        "--explore",
+        action="store_true",
+        help="with --run: also enumerate every execution order and report "
+        "the instance's observed behavior",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        schema = load_schema(args.schema)
+        with open(args.rules) as handle:
+            ruleset = RuleSet.parse(handle.read(), schema)
+
+        analyzer = RuleAnalyzer(ruleset)
+        for pair in args.certify_commutes:
+            first, __, second = pair.partition(",")
+            analyzer.certify_commutes(first.strip(), second.strip())
+        for rule in args.certify_termination:
+            analyzer.certify_termination(rule.strip())
+        for pair in args.order:
+            higher, __, lower = pair.partition(",")
+            analyzer.add_priority(higher.strip(), lower.strip())
+
+        report = analyzer.analyze()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(f"analyzed {len(ruleset)} rules over {len(schema)} tables")
+    print(report.summary())
+
+    if args.verbose:
+        _print_details(report)
+
+    if args.tables:
+        tables = [table.strip() for table in args.tables.split(",")]
+        partial = analyzer.analyze_partial_confluence(tables)
+        print(f"partial confluence:     {partial.describe()}")
+
+    if args.dot:
+        from repro.analysis.graphviz import triggering_graph_dot
+
+        with open(args.dot, "w") as handle:
+            handle.write(
+                triggering_graph_dot(
+                    analyzer.termination_analyzer.graph,
+                    priorities=ruleset.priorities,
+                    certified=analyzer.termination_analyzer.certified_rules,
+                )
+            )
+        print(f"triggering graph written to {args.dot}")
+
+    if args.report:
+        from repro.analysis.report import render_markdown
+
+        partial = []
+        if args.tables:
+            partial.append(
+                [table.strip() for table in args.tables.split(",")]
+            )
+        with open(args.report, "w") as handle:
+            handle.write(
+                render_markdown(analyzer, report, partial_tables=partial)
+            )
+        print(f"markdown report written to {args.report}")
+
+    if args.run:
+        try:
+            _run_and_trace(ruleset, schema, args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    all_good = (
+        report.terminates
+        and report.confluent
+        and report.observably_deterministic
+    )
+    return 0 if all_good else 1
+
+
+def _run_and_trace(ruleset: RuleSet, schema: Schema, args) -> None:
+    database = (
+        load_data(args.data, schema) if args.data else Database(schema)
+    )
+
+    processor = RuleProcessor(ruleset, database.copy())
+    for statement in args.run:
+        processor.execute_user(statement)
+    result, events = trace_run(processor)
+
+    print("\n== rule processing trace ==")
+    print(render_trace(events))
+    print(f"outcome: {result.outcome} after {len(result.steps)} steps")
+    print("final state:")
+    for table in schema:
+        rows = processor.database.table(table.name).value_tuples()
+        print(f"  {table.name}: {rows}")
+
+    if args.explore:
+        fresh = RuleProcessor(ruleset, database.copy())
+        for statement in args.run:
+            fresh.execute_user(statement)
+        graph = explore(fresh)
+        print("\n== execution-graph exploration ==")
+        print(f"states explored:     {graph.state_count}")
+        print(f"terminates:          {graph.terminates}")
+        print(f"confluent:           {graph.is_confluent}")
+        print(f"observable streams:  {len(graph.observable_streams)}")
+
+
+def _print_details(report) -> None:
+    termination = report.termination
+    if not termination.guaranteed:
+        print("\ntriggering-graph cycles (certify a rule on each to proceed):")
+        for component in termination.uncertified_components:
+            members = ", ".join(sorted(component))
+            print(f"  {{{members}}}")
+            auto = termination.auto_certifiable.get(component, frozenset())
+            if auto:
+                print(
+                    "    delete-only heuristic would certify: "
+                    + ", ".join(sorted(auto))
+                )
+
+    confluence = report.confluence
+    if confluence.violations:
+        print("\nconfluence violations:")
+        for violation in confluence.violations:
+            print(f"  {violation.describe()}")
+        print("suggestions:")
+        for suggestion in confluence.suggestions():
+            print(f"  - {suggestion.describe()}")
+
+    od = report.observable_determinism
+    if od.observable_rules and not od.observably_deterministic:
+        print("\nobservable-determinism violations (Sig(Obs) analysis):")
+        for violation in od.confluence.violations:
+            print(f"  {violation.describe()}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

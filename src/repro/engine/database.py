@@ -1,0 +1,132 @@
+"""The mutable database state: a set of table extensions over a schema."""
+
+from __future__ import annotations
+
+from repro.engine.storage import Row, TableData
+from repro.errors import SchemaError
+from repro.schema.catalog import Schema
+
+
+class Database:
+    """A database instance: one :class:`TableData` per schema table.
+
+    Tids are allocated from a single database-wide counter so that a tid
+    identifies a tuple unambiguously across tables and across time.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._tables: dict[str, TableData] = {
+            table.name: TableData(table.name, len(table)) for table in schema
+        }
+        self._next_tid = 1
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> TableData:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def rows(self, name: str) -> list[Row]:
+        return self.table(name).rows()
+
+    def column_names(self, name: str) -> tuple[str, ...]:
+        return self.schema.table(name).column_names
+
+    # ------------------------------------------------------------------
+    # Mutation (tid-level primitives; statement execution lives in dml.py)
+    # ------------------------------------------------------------------
+
+    def allocate_tid(self) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    def insert_row(self, table: str, values: tuple) -> int:
+        """Insert *values*, allocating and returning a fresh tid."""
+        self._check_types(table, values)
+        tid = self.allocate_tid()
+        self.table(table).insert(tid, values)
+        return tid
+
+    def delete_row(self, table: str, tid: int) -> tuple:
+        return self.table(table).delete(tid)
+
+    def update_row(self, table: str, tid: int, values: tuple) -> tuple:
+        self._check_types(table, values)
+        return self.table(table).update(tid, values)
+
+    def _check_types(self, table: str, values: tuple) -> None:
+        definition = self.schema.table(table)
+        names = definition.column_names
+        if len(values) != len(names):
+            raise SchemaError(
+                f"table {table!r} expects {len(names)} values, got {len(values)}"
+            )
+        for name, value in zip(names, values):
+            column = definition.column(name)
+            if not column.type.accepts(value):
+                raise SchemaError(
+                    f"value {value!r} does not fit column "
+                    f"{table}.{name} of type {column.type.value}"
+                )
+
+    # ------------------------------------------------------------------
+    # Bulk loading (used by tests, examples, and workload generators)
+    # ------------------------------------------------------------------
+
+    def load(self, table: str, rows: list[tuple]) -> list[int]:
+        """Insert many rows; returns the allocated tids."""
+        return [self.insert_row(table, tuple(row)) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Snapshots and canonical form
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """An opaque copy of the full state, restorable via :meth:`restore`."""
+        return {
+            "tables": {name: data.copy() for name, data in self._tables.items()},
+            "next_tid": self._next_tid,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self._tables = {
+            name: data.copy() for name, data in snapshot["tables"].items()
+        }
+        self._next_tid = snapshot["next_tid"]
+
+    def canonical(self) -> tuple:
+        """A hashable canonical form of the database state.
+
+        Tids are excluded (see :meth:`TableData.canonical`), so states
+        reached along different execution paths compare equal exactly
+        when they contain the same data — the equality the paper's
+        confluence definition is stated over.
+        """
+        return tuple(
+            (name, self._tables[name].canonical())
+            for name in sorted(self._tables)
+        )
+
+    def canonical_for(self, tables: tuple[str, ...]) -> tuple:
+        """Canonical form restricted to *tables* (for partial confluence)."""
+        return tuple(
+            (name, self._tables[name.lower()].canonical())
+            for name in sorted(set(t.lower() for t in tables))
+        )
+
+    def copy(self) -> "Database":
+        clone = Database(self.schema)
+        clone.restore(self.snapshot())
+        return clone
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}={len(data)}" for name, data in self._tables.items()
+        )
+        return f"Database({sizes})"

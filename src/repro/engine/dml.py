@@ -1,0 +1,220 @@
+"""Set-oriented DML execution: INSERT, DELETE, UPDATE, SELECT, ROLLBACK.
+
+Statements execute against a :class:`~repro.engine.database.Database`
+through a table *provider* (so that rule actions can read transition
+tables), and report every tuple they touch to an optional
+:class:`~repro.transitions.delta.DeltaLog`.
+
+Semantics are set-oriented, like Starburst's: DELETE and UPDATE first
+evaluate their WHERE predicate against the pre-statement state and
+collect the target tids, then apply all changes; INSERT ... SELECT fully
+evaluates the query before inserting. A statement therefore never
+observes its own partial effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.engine.expressions import Evaluator, RowContext
+from repro.engine.query import DatabaseProvider, QueryResult, execute_select
+from repro.engine.values import sql_is_truthy
+from repro.errors import ExecutionError, RollbackSignal
+from repro.lang import ast
+from repro.transitions.delta import DeltaLog
+
+
+@dataclass
+class StatementResult:
+    """What a statement did: rows affected, and query output if a SELECT."""
+
+    kind: str
+    affected: int = 0
+    query_result: QueryResult | None = None
+    touched_tables: frozenset[str] = field(default_factory=frozenset)
+
+
+def execute_statement(
+    database: Database,
+    stmt: ast.Statement,
+    provider=None,
+    log: DeltaLog | None = None,
+) -> StatementResult:
+    """Execute one statement; returns a :class:`StatementResult`.
+
+    ``provider`` defaults to a plain :class:`DatabaseProvider` over
+    *database*; pass an overlay provider to expose transition tables.
+    A :class:`~repro.errors.RollbackSignal` propagates out of ROLLBACK.
+    """
+    if provider is None:
+        provider = DatabaseProvider(database)
+
+    if isinstance(stmt, ast.Select):
+        result = execute_select(provider, stmt)
+        return StatementResult(
+            kind="select", affected=len(result.rows), query_result=result
+        )
+
+    if isinstance(stmt, ast.Insert):
+        return _execute_insert(database, stmt, provider, log)
+
+    if isinstance(stmt, ast.Delete):
+        return _execute_delete(database, stmt, provider, log)
+
+    if isinstance(stmt, ast.Update):
+        return _execute_update(database, stmt, provider, log)
+
+    if isinstance(stmt, ast.Rollback):
+        raise RollbackSignal(stmt.message)
+
+    raise ExecutionError(f"unsupported statement type: {type(stmt).__name__}")
+
+
+def execute_script(
+    database: Database,
+    statements: list[ast.Statement],
+    provider=None,
+    log: DeltaLog | None = None,
+) -> list[StatementResult]:
+    """Execute statements in order, stopping on rollback (which re-raises)."""
+    return [
+        execute_statement(database, stmt, provider=provider, log=log)
+        for stmt in statements
+    ]
+
+
+# ----------------------------------------------------------------------
+# INSERT
+# ----------------------------------------------------------------------
+
+
+def _execute_insert(
+    database: Database,
+    stmt: ast.Insert,
+    provider,
+    log: DeltaLog | None,
+) -> StatementResult:
+    table = stmt.table.lower()
+    arity = len(database.schema.table(table))
+
+    if stmt.query is not None:
+        rows = [tuple(row) for row in execute_select(provider, stmt.query).rows]
+    else:
+        evaluator = Evaluator(provider)
+        empty = RowContext()
+        rows = [
+            tuple(evaluator.evaluate(value, empty) for value in row)
+            for row in stmt.rows
+        ]
+
+    for row in rows:
+        if len(row) != arity:
+            raise ExecutionError(
+                f"insert into {table!r} expects {arity} values, got {len(row)}"
+            )
+
+    for row in rows:
+        tid = database.insert_row(table, row)
+        if log is not None:
+            log.record_insert(table, tid, row)
+
+    return StatementResult(
+        kind="insert", affected=len(rows), touched_tables=frozenset({table})
+    )
+
+
+# ----------------------------------------------------------------------
+# DELETE
+# ----------------------------------------------------------------------
+
+
+def _matching_tids(
+    database: Database,
+    table: str,
+    binding: str,
+    where: ast.Expression | None,
+    provider,
+) -> list[int]:
+    """Tids of rows in *table* satisfying *where* (pre-statement state)."""
+    columns = database.schema.table(table).column_names
+    evaluator = Evaluator(provider)
+    matched = []
+    for row in database.rows(table):
+        if where is None:
+            matched.append(row.tid)
+            continue
+        context = RowContext()
+        context.bind(binding, columns, row.values)
+        if binding != table:
+            # The bare table name also resolves, as in SQL.
+            context.bind(table, columns, row.values)
+        if sql_is_truthy(evaluator.evaluate(where, context)):
+            matched.append(row.tid)
+    return matched
+
+
+def _execute_delete(
+    database: Database,
+    stmt: ast.Delete,
+    provider,
+    log: DeltaLog | None,
+) -> StatementResult:
+    table = stmt.table.lower()
+    binding = (stmt.alias or stmt.table).lower()
+    tids = _matching_tids(database, table, binding, stmt.where, provider)
+    for tid in tids:
+        old = database.delete_row(table, tid)
+        if log is not None:
+            log.record_delete(table, tid, old)
+    return StatementResult(
+        kind="delete", affected=len(tids), touched_tables=frozenset({table})
+    )
+
+
+# ----------------------------------------------------------------------
+# UPDATE
+# ----------------------------------------------------------------------
+
+
+def _execute_update(
+    database: Database,
+    stmt: ast.Update,
+    provider,
+    log: DeltaLog | None,
+) -> StatementResult:
+    table = stmt.table.lower()
+    binding = (stmt.alias or stmt.table).lower()
+    definition = database.schema.table(table)
+    columns = definition.column_names
+    assignment_indexes = [
+        (definition.column_index(assignment.column), assignment.value)
+        for assignment in stmt.assignments
+    ]
+
+    tids = _matching_tids(database, table, binding, stmt.where, provider)
+
+    # Compute all new values against the pre-statement state first.
+    evaluator = Evaluator(provider)
+    planned: list[tuple[int, tuple, tuple]] = []
+    table_data = database.table(table)
+    for tid in tids:
+        old = table_data.get(tid)
+        assert old is not None
+        context = RowContext()
+        context.bind(binding, columns, old)
+        if binding != table:
+            context.bind(table, columns, old)
+        new = list(old)
+        for index, value_expr in assignment_indexes:
+            new[index] = evaluator.evaluate(value_expr, context)
+        planned.append((tid, old, tuple(new)))
+
+    for tid, old, new in planned:
+        database.update_row(table, tid, new)
+        if log is not None:
+            log.record_update(table, tid, old, new)
+
+    return StatementResult(
+        kind="update", affected=len(planned), touched_tables=frozenset({table})
+    )

@@ -1,0 +1,100 @@
+"""Tuple storage for one table.
+
+Every stored tuple carries a surrogate *tuple id* (tid), unique across
+the whole database for its lifetime. Tids let the transition machinery
+of :mod:`repro.transitions` track the history of an individual tuple
+across multiple operations, which is what the net-effect composition
+rules of [WF90] are defined over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.values import row_sort_key
+from repro.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class Row:
+    """A stored tuple: its tid and its column values (schema order)."""
+
+    tid: int
+    values: tuple
+
+    def value(self, index: int):
+        return self.values[index]
+
+
+class TableData:
+    """The extension of one table: a tid-keyed map of value tuples."""
+
+    def __init__(self, name: str, arity: int) -> None:
+        self.name = name
+        self.arity = arity
+        self._rows: dict[int, tuple] = {}
+
+    def insert(self, tid: int, values: tuple) -> None:
+        if len(values) != self.arity:
+            raise ExecutionError(
+                f"table {self.name!r} expects {self.arity} values, "
+                f"got {len(values)}"
+            )
+        if tid in self._rows:
+            raise ExecutionError(f"duplicate tid {tid} in table {self.name!r}")
+        self._rows[tid] = values
+
+    def delete(self, tid: int) -> tuple:
+        try:
+            return self._rows.pop(tid)
+        except KeyError:
+            raise ExecutionError(
+                f"no tid {tid} in table {self.name!r}"
+            ) from None
+
+    def update(self, tid: int, values: tuple) -> tuple:
+        """Replace the values at *tid*; returns the old values."""
+        if tid not in self._rows:
+            raise ExecutionError(f"no tid {tid} in table {self.name!r}")
+        if len(values) != self.arity:
+            raise ExecutionError(
+                f"table {self.name!r} expects {self.arity} values, "
+                f"got {len(values)}"
+            )
+        old = self._rows[tid]
+        self._rows[tid] = values
+        return old
+
+    def get(self, tid: int) -> tuple | None:
+        return self._rows.get(tid)
+
+    def rows(self) -> list[Row]:
+        """All rows, in tid order (deterministic iteration)."""
+        return [Row(tid, self._rows[tid]) for tid in sorted(self._rows)]
+
+    def value_tuples(self) -> list[tuple]:
+        return [self._rows[tid] for tid in sorted(self._rows)]
+
+    def canonical(self) -> tuple:
+        """The table's contents as a sorted bag of value tuples.
+
+        Tids are deliberately excluded: two database states are "the
+        same" (for execution-graph state identity and for confluence
+        checking) when they hold the same bags of tuples, regardless of
+        internal surrogate ids.
+        """
+        return tuple(sorted(self._rows.values(), key=row_sort_key))
+
+    def copy(self) -> "TableData":
+        clone = TableData(self.name, self.arity)
+        clone._rows = dict(self._rows)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._rows
+
+    def __repr__(self) -> str:
+        return f"TableData({self.name}, {len(self._rows)} rows)"

@@ -1,0 +1,44 @@
+"""Starburst-style rule language: tokenizer, AST, parser, pretty-printer.
+
+The language implemented here follows Section 2 of the paper:
+
+.. code-block:: text
+
+    create rule name on table
+    when   transition-predicate          -- inserted | deleted | updated(c, ...)
+    [ if   condition ]                   -- an SQL predicate
+    then   action [; action ...]         -- SQL data manipulation statements
+    [ precedes rule-list ]
+    [ follows rule-list ]
+
+Conditions and actions may reference ordinary tables and the transition
+tables ``inserted``, ``deleted``, ``new_updated`` and ``old_updated``
+(the hyphenated spellings ``new-updated`` / ``old-updated`` used by the
+paper are accepted as synonyms).
+"""
+
+from repro.lang.tokens import Token, TokenKind, tokenize
+from repro.lang import ast
+from repro.lang.parser import (
+    Parser,
+    parse_expression,
+    parse_rule,
+    parse_rules,
+    parse_statement,
+)
+from repro.lang.pretty import format_expression, format_rule, format_statement
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "ast",
+    "Parser",
+    "parse_expression",
+    "parse_rule",
+    "parse_rules",
+    "parse_statement",
+    "format_expression",
+    "format_rule",
+    "format_statement",
+]

@@ -1,0 +1,8 @@
+"""Rule objects: triggering events, rules, priorities, and rule sets."""
+
+from repro.rules.events import TriggerEvent
+from repro.rules.rule import Rule
+from repro.rules.priorities import PriorityRelation
+from repro.rules.ruleset import RuleSet
+
+__all__ = ["TriggerEvent", "Rule", "PriorityRelation", "RuleSet"]

@@ -1,0 +1,61 @@
+"""Database modification operations — the set ``O`` of Section 3.
+
+``O = {(I, t) | t ∈ T} ∪ {(D, t) | t ∈ T} ∪ {(U, t.c) | t.c ∈ C}``
+
+A :class:`TriggerEvent` is one element of ``O``. Both the triggering
+predicates of rules (``Triggered-By``) and the write sets of rule
+actions (``Performs``) are expressed as sets of these events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.catalog import Schema
+
+
+@dataclass(frozen=True, order=True)
+class TriggerEvent:
+    """One element of the operation set ``O``.
+
+    ``kind`` is ``"I"``, ``"D"`` or ``"U"``; ``column`` is set only for
+    updates.
+    """
+
+    kind: str
+    table: str
+    column: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("I", "D", "U"):
+            raise ValueError(f"bad event kind {self.kind!r}")
+        if (self.kind == "U") != (self.column is not None):
+            raise ValueError("update events carry a column; others do not")
+
+    @classmethod
+    def insert(cls, table: str) -> "TriggerEvent":
+        return cls("I", table.lower())
+
+    @classmethod
+    def delete(cls, table: str) -> "TriggerEvent":
+        return cls("D", table.lower())
+
+    @classmethod
+    def update(cls, table: str, column: str) -> "TriggerEvent":
+        return cls("U", table.lower(), column.lower())
+
+    def __str__(self) -> str:
+        if self.kind == "U":
+            return f"(U, {self.table}.{self.column})"
+        return f"({self.kind}, {self.table})"
+
+
+def all_events(schema: Schema) -> frozenset[TriggerEvent]:
+    """The full operation set ``O`` for *schema*."""
+    events: set[TriggerEvent] = set()
+    for table in schema:
+        events.add(TriggerEvent.insert(table.name))
+        events.add(TriggerEvent.delete(table.name))
+        for column in table.column_names:
+            events.add(TriggerEvent.update(table.name, column))
+    return frozenset(events)

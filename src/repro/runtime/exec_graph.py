@@ -1,0 +1,228 @@
+"""Execution-graph exploration (Section 4).
+
+An execution graph has states ``S = (D, TR)`` — database state plus
+triggered rules with their transitions — an initial state created by the
+user-generated initial transition, and edges labeled with rules, one per
+eligible choice. Exploring all branches yields ground truth for the
+three properties the paper analyzes statically:
+
+* **termination** — no infinite path: in the explored (finite,
+  deduplicated) graph, no reachable cycle and no budget overrun;
+* **confluence** — at most one final state: all paths end in the same
+  database state;
+* **observable determinism** — a unique stream of observable actions
+  over all complete paths.
+
+Observable streams are path-dependent (not a function of the state), so
+the explorer tracks the set of observable streams that can reach each
+state and the streams at final states.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ExplorationLimitExceeded
+from repro.runtime.observer import ObservableAction
+from repro.runtime.processor import RuleProcessor
+
+
+@dataclass
+class ExecutionGraph:
+    """The result of exhaustive exploration from one initial state."""
+
+    #: canonical key of the initial state
+    initial: tuple
+    #: state key -> list of (rule label, successor state key)
+    edges: dict[tuple, list[tuple[str, tuple]]] = field(default_factory=dict)
+    #: keys of final states (no triggered rules)
+    final_states: set[tuple] = field(default_factory=set)
+    #: canonical database state for each final state key
+    final_databases: dict[tuple, tuple] = field(default_factory=dict)
+    #: distinct full observable streams over all complete paths
+    observable_streams: set[tuple[ObservableAction, ...]] = field(
+        default_factory=set
+    )
+    #: True if exploration saw a cycle (an infinite path exists)
+    has_cycle: bool = False
+    #: True if exploration hit its state/depth budget (result is partial)
+    truncated: bool = False
+    #: True if path enumeration hit its budget (streams are partial)
+    streams_truncated: bool = False
+
+    @property
+    def state_count(self) -> int:
+        return len(self.edges)
+
+    @property
+    def terminates(self) -> bool:
+        """True iff every path is finite (only meaningful if not truncated)."""
+        return not self.has_cycle and not self.truncated
+
+    @property
+    def is_confluent(self) -> bool:
+        """At most one final database state (Section 6's definition).
+
+        Only a guaranteed verdict when the graph is complete
+        (``terminates`` is True).
+        """
+        return len(set(self.final_databases.values())) <= 1
+
+    def is_confluent_for(self, projections: dict[tuple, tuple]) -> bool:
+        """Partial confluence given per-final-state projected databases."""
+        return len(set(projections.values())) <= 1
+
+    @property
+    def is_observably_deterministic(self) -> bool:
+        """A single stream of observable actions across all paths."""
+        return len(self.observable_streams) <= 1
+
+    def paths_to_final(self) -> int:
+        """Number of distinct complete paths (may be exponential; capped
+        by the explorer's budget)."""
+        return self._path_count
+
+    _path_count: int = 0
+
+
+def explore(
+    processor: RuleProcessor,
+    max_states: int = 2_000,
+    max_depth: int = 200,
+    max_paths: int = 20_000,
+    on_limit: str = "mark",
+) -> ExecutionGraph:
+    """Explore every execution order from *processor*'s current state.
+
+    The processor should already hold the initial transition (user
+    operations executed, rules not yet processed). It is forked, never
+    mutated.
+
+    ``on_limit`` is ``"mark"`` (set ``truncated`` and return the partial
+    graph) or ``"raise"`` (raise :class:`ExplorationLimitExceeded`).
+    """
+    initial = processor.fork()
+    initial_key = initial.state_key()
+
+    graph = ExecutionGraph(initial=initial_key)
+
+    # Phase 1: build the deduplicated state graph (termination/confluence).
+    frontier: deque[tuple[RuleProcessor, int]] = deque([(initial, 0)])
+    seen: dict[tuple, bool] = {initial_key: True}
+
+    while frontier:
+        current, depth = frontier.popleft()
+        key = current.state_key()
+        if key in graph.edges or key in graph.final_states:
+            continue
+
+        eligible = current.eligible_rules()
+        if not eligible:
+            graph.final_states.add(key)
+            graph.final_databases[key] = current.database.canonical()
+            continue
+
+        if len(graph.edges) >= max_states:
+            if on_limit == "raise":
+                raise ExplorationLimitExceeded(max_states)
+            graph.truncated = True
+            break
+        if depth >= max_depth:
+            if on_limit == "raise":
+                raise ExplorationLimitExceeded(max_depth)
+            graph.truncated = True
+            break
+
+        successors: list[tuple[str, tuple]] = []
+        for rule_name in eligible:
+            child = current.fork()
+            child.consider(rule_name)
+            child_key = child.state_key()
+            successors.append((rule_name, child_key))
+            if child_key not in seen:
+                seen[child_key] = True
+                frontier.append((child, depth + 1))
+        graph.edges[key] = successors
+
+    graph.has_cycle = _has_reachable_cycle(graph)
+
+    # Phase 2: enumerate complete paths for observable streams. Skipped
+    # when the graph is cyclic or truncated (streams would be unbounded).
+    if not graph.has_cycle and not graph.truncated:
+        _collect_observable_streams(processor, graph, max_paths)
+
+    return graph
+
+
+def _has_reachable_cycle(graph: ExecutionGraph) -> bool:
+    """Detect a cycle among explored states (iterative DFS, 3-color)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[tuple, int] = {}
+
+    for root in list(graph.edges):
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: list[tuple[tuple, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, index = stack[-1]
+            successors = graph.edges.get(node, [])
+            if index < len(successors):
+                stack[-1] = (node, index + 1)
+                __, child = successors[index]
+                child_color = color.get(child, WHITE)
+                if child_color == GRAY:
+                    return True
+                if child_color == WHITE and child in graph.edges:
+                    color[child] = GRAY
+                    stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+def _collect_observable_streams(
+    processor: RuleProcessor, graph: ExecutionGraph, max_paths: int
+) -> None:
+    """Enumerate all complete paths, recording their observable streams.
+
+    Uses depth-first traversal over live processor forks: observables
+    depend on the path taken, not just the state reached, so the state
+    graph alone is not enough.
+    """
+    paths_done = 0
+    stack: list[RuleProcessor] = [processor.fork()]
+
+    while stack:
+        current = stack.pop()
+        eligible = current.eligible_rules()
+        if not eligible:
+            graph.observable_streams.add(tuple(current.observables))
+            paths_done += 1
+            if paths_done >= max_paths:
+                graph.streams_truncated = True
+                graph._path_count = paths_done
+                return
+            continue
+        for rule_name in eligible:
+            child = current.fork()
+            child.consider(rule_name)
+            stack.append(child)
+
+    graph._path_count = paths_done
+
+
+def explore_ruleset(
+    ruleset,
+    database,
+    user_statements: list,
+    **kwargs,
+) -> ExecutionGraph:
+    """Convenience wrapper: build a processor, run the user statements as
+    the initial transition, and explore."""
+    processor = RuleProcessor(ruleset, database)
+    for statement in user_statements:
+        processor.execute_user(statement)
+    return explore(processor, **kwargs)

@@ -1,0 +1,312 @@
+"""The rule processor: Starburst rule-processing semantics (Section 2).
+
+The key mechanism is the pair (delta log, per-rule markers):
+
+* every tuple-level operation — user-generated or from a rule action —
+  is appended to one shared :class:`~repro.transitions.delta.DeltaLog`;
+* each rule holds a *marker*, the log position of its last consideration
+  (initially the position of the current assertion point);
+* a rule is **triggered** iff the net effect of the log suffix past its
+  marker contains one of its ``Triggered-By`` operations;
+* when a rule is considered, its transition tables are materialized from
+  that suffix, its marker advances to the pre-action log position, its
+  condition is checked, and (if true) its action runs — so the rule sees
+  its own action's operations as a fresh transition, while rules not yet
+  considered keep accumulating the composite transition.
+
+This reproduces exactly the triggering discipline described in the
+paper: "a given rule is triggered if its transition predicate holds with
+respect to the (composite) transition since the last time it was
+considered."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.engine.dml import execute_statement
+from repro.engine.expressions import Evaluator, RowContext
+from repro.engine.query import DatabaseProvider, OverlayProvider
+from repro.engine.values import sql_is_truthy
+from repro.errors import (
+    RollbackSignal,
+    RuleProcessingError,
+    RuleProcessingLimitExceeded,
+)
+from repro.lang import ast
+from repro.lang.parser import parse_statement
+from repro.runtime.observer import ObservableAction
+from repro.runtime.strategies import FirstEligibleStrategy
+from repro.rules.ruleset import RuleSet
+from repro.transitions.delta import DeltaLog
+from repro.transitions.net_effect import NetEffect
+from repro.transitions.transition_tables import transition_table_overlays
+
+
+@dataclass(frozen=True)
+class ConsiderationOutcome:
+    """What happened when one rule was considered."""
+
+    rule: str
+    condition_was_true: bool
+    operations_performed: int
+    rolled_back: bool = False
+
+
+@dataclass
+class ProcessingResult:
+    """The outcome of running rule processing to quiescence."""
+
+    outcome: str  # "quiescent" or "rolled_back"
+    steps: list[ConsiderationOutcome] = field(default_factory=list)
+    observables: list[ObservableAction] = field(default_factory=list)
+
+    @property
+    def rules_considered(self) -> list[str]:
+        return [step.rule for step in self.steps]
+
+
+class RuleProcessor:
+    """Processes rules over a database at assertion points."""
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        database: Database,
+        strategy=None,
+        max_steps: int = 10_000,
+    ) -> None:
+        if ruleset.schema is not database.schema:
+            raise RuleProcessingError(
+                "rule set and database use different schemas"
+            )
+        self.ruleset = ruleset
+        self.database = database
+        self.strategy = strategy or FirstEligibleStrategy()
+        self.max_steps = max_steps
+
+        self.log = DeltaLog()
+        self.markers: dict[str, int] = {rule.name: 0 for rule in ruleset}
+        self.observables: list[ObservableAction] = []
+        self._column_names = {
+            table.name: table.column_names for table in ruleset.schema
+        }
+        self._transaction_snapshot = database.snapshot()
+        self._rolled_back = False
+
+    # ------------------------------------------------------------------
+    # Transaction control and user operations
+    # ------------------------------------------------------------------
+
+    def begin_transaction(self) -> None:
+        """Start a fresh transaction at the current database state."""
+        self._transaction_snapshot = self.database.snapshot()
+        self._rolled_back = False
+
+    def execute_user(self, statement: ast.Statement | str):
+        """Execute a user-generated operation (no rule processing yet).
+
+        These operations form the initial transition of the next
+        assertion point. Accepts an AST statement or source text.
+        """
+        if self._rolled_back:
+            raise RuleProcessingError("transaction was rolled back")
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        return execute_statement(self.database, statement, log=self.log)
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+
+    def pending_net_effect(self, rule_name: str) -> NetEffect:
+        """The composite transition since *rule_name* was last considered."""
+        marker = self.markers[rule_name.lower()]
+        return NetEffect.from_primitives(self.log.since(marker))
+
+    def triggered_rules(self) -> tuple[str, ...]:
+        """All currently triggered rules, in definition order."""
+        if self._rolled_back:
+            return ()
+        triggered = []
+        for rule in self.ruleset:
+            if not self.ruleset.is_active(rule.name):
+                continue
+            net = self.pending_net_effect(rule.name)
+            if net.is_empty():
+                continue
+            operations = net.operations(self._column_names)
+            if operations & rule.triggered_by:
+                triggered.append(rule.name)
+        return tuple(triggered)
+
+    def eligible_rules(self) -> tuple[str, ...]:
+        """``Choose`` applied to the current triggered set."""
+        return self.ruleset.choose(self.triggered_rules())
+
+    # ------------------------------------------------------------------
+    # Consideration of a single rule
+    # ------------------------------------------------------------------
+
+    def consider(self, rule_name: str) -> ConsiderationOutcome:
+        """Consider one rule: check its condition, maybe run its action.
+
+        The caller must pass a currently eligible rule (this is checked).
+        """
+        rule_name = rule_name.lower()
+        if rule_name not in self.eligible_rules():
+            raise RuleProcessingError(
+                f"rule {rule_name!r} is not eligible for consideration"
+            )
+        rule = self.ruleset.rule(rule_name)
+
+        triggering_net = self.pending_net_effect(rule_name)
+        overlays = transition_table_overlays(
+            triggering_net, rule.table, self._column_names[rule.table]
+        )
+        provider = OverlayProvider(DatabaseProvider(self.database), overlays)
+
+        # Mark the rule considered *before* running its action: the rule
+        # sees its own action's operations as a fresh transition (and may
+        # re-trigger itself), per Section 2.
+        self.markers[rule_name] = self.log.position
+
+        condition_true = True
+        if rule.condition is not None:
+            evaluator = Evaluator(provider)
+            value = evaluator.evaluate(rule.condition, RowContext())
+            condition_true = sql_is_truthy(value)
+
+        if not condition_true:
+            return ConsiderationOutcome(
+                rule=rule_name,
+                condition_was_true=False,
+                operations_performed=0,
+            )
+
+        operations_before = self.log.position
+        try:
+            for action in rule.actions:
+                result = execute_statement(
+                    self.database, action, provider=provider, log=self.log
+                )
+                if result.kind == "select":
+                    self.observables.append(
+                        ObservableAction.select(
+                            rule_name, result.query_result.rows
+                        )
+                    )
+        except RollbackSignal as signal:
+            self._rollback(rule_name, signal.message)
+            return ConsiderationOutcome(
+                rule=rule_name,
+                condition_was_true=True,
+                operations_performed=0,
+                rolled_back=True,
+            )
+
+        return ConsiderationOutcome(
+            rule=rule_name,
+            condition_was_true=True,
+            operations_performed=self.log.position - operations_before,
+        )
+
+    def _rollback(self, rule_name: str, message: str) -> None:
+        self.database.restore(self._transaction_snapshot)
+        self.observables.append(ObservableAction.rollback(rule_name, message))
+        self._rolled_back = True
+
+    @property
+    def rolled_back(self) -> bool:
+        return self._rolled_back
+
+    # ------------------------------------------------------------------
+    # The rule-processing loop (an assertion point)
+    # ------------------------------------------------------------------
+
+    def run(self) -> ProcessingResult:
+        """Process rules at an assertion point until quiescence.
+
+        Raises :class:`RuleProcessingLimitExceeded` past ``max_steps`` —
+        callers treat that as possible nontermination.
+
+        When processing completes, every rule's marker advances to the
+        end of the log: Section 2 specifies that at the *next* assertion
+        point a not-yet-considered rule is triggered by "the transition
+        since the last rule assertion point", not since the start of the
+        transaction. (During processing this advance is invisible — no
+        rule is triggered at quiescence — but it changes what composes
+        into the next assertion point's transitions.)
+        """
+        steps: list[ConsiderationOutcome] = []
+        observables_before = len(self.observables)
+        while True:
+            eligible = self.eligible_rules()
+            if not eligible:
+                for name in self.markers:
+                    self.markers[name] = self.log.position
+                outcome = "rolled_back" if self._rolled_back else "quiescent"
+                return ProcessingResult(
+                    outcome=outcome,
+                    steps=steps,
+                    observables=self.observables[observables_before:],
+                )
+            if len(steps) >= self.max_steps:
+                raise RuleProcessingLimitExceeded(self.max_steps)
+            chosen = self.strategy.choose(eligible)
+            steps.append(self.consider(chosen))
+
+    # ------------------------------------------------------------------
+    # State identity and forking (used by the execution-graph explorer)
+    # ------------------------------------------------------------------
+
+    def state_key(self) -> tuple:
+        """A hashable canonical key for the execution-graph state (D, TR).
+
+        Includes the pending transition of *every* rule (not just the
+        triggered ones): a pending-but-not-yet-triggering composite
+        transition influences future triggering, so states that differ
+        there must not be merged.
+        """
+        pending = tuple(
+            (rule.name, self.pending_net_effect(rule.name).canonical())
+            for rule in self.ruleset
+        )
+        return (self._rolled_back, self.database.canonical(), pending)
+
+    def paper_state_key(self) -> tuple:
+        """The paper's state ``S = (D, TR)`` — triggered rules only.
+
+        Coarser than :meth:`state_key`: the paper's execution-graph
+        states carry only the *triggered* rules and their transition
+        tables. Untriggered rules' pending (non-triggering) composite
+        transitions still influence future behavior at tuple
+        granularity, so exploration dedups on the finer
+        :meth:`state_key`; this key exists to validate paper-level
+        claims (the Figure 1 commutativity diamond, state-identity in
+        Lemmas 6.3/6.4).
+        """
+        triggered = self.triggered_rules()
+        pending = tuple(
+            (name, self.pending_net_effect(name).canonical())
+            for name in triggered
+        )
+        return (self._rolled_back, self.database.canonical(), pending)
+
+    def fork(self) -> "RuleProcessor":
+        """An independent deep copy sharing the rule set (which is immutable
+        during processing)."""
+        clone = RuleProcessor.__new__(RuleProcessor)
+        clone.ruleset = self.ruleset
+        clone.database = self.database.copy()
+        clone.strategy = self.strategy
+        clone.max_steps = self.max_steps
+        clone.log = DeltaLog()
+        clone.log._primitives = self.log.all()
+        clone.markers = dict(self.markers)
+        clone.observables = list(self.observables)
+        clone._column_names = self._column_names
+        clone._transaction_snapshot = self._transaction_snapshot
+        clone._rolled_back = self._rolled_back
+        return clone

@@ -1,0 +1,58 @@
+"""Rule-choice strategies.
+
+When several triggered rules are eligible (``Choose`` returns more than
+one), Starburst picks one arbitrarily. The strategy object makes that
+arbitrary choice pluggable so tests and the oracle can drive specific
+execution orders.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import RuleProcessingError
+
+
+class FirstEligibleStrategy:
+    """Deterministic: always pick the first eligible rule (definition order)."""
+
+    def choose(self, eligible: tuple[str, ...]) -> str:
+        if not eligible:
+            raise RuleProcessingError("no eligible rules to choose from")
+        return eligible[0]
+
+
+class RandomStrategy:
+    """Seeded random choice — used to sample execution orders."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._random = random.Random(seed)
+
+    def choose(self, eligible: tuple[str, ...]) -> str:
+        if not eligible:
+            raise RuleProcessingError("no eligible rules to choose from")
+        return self._random.choice(list(eligible))
+
+
+class ScriptedStrategy:
+    """Follow a fixed script of rule names; error on divergence.
+
+    After the script is exhausted, falls back to first-eligible. Used by
+    tests that need to reproduce one specific execution path.
+    """
+
+    def __init__(self, script: list[str]) -> None:
+        self._script = [name.lower() for name in script]
+        self._index = 0
+
+    def choose(self, eligible: tuple[str, ...]) -> str:
+        if self._index < len(self._script):
+            wanted = self._script[self._index]
+            self._index += 1
+            if wanted not in eligible:
+                raise RuleProcessingError(
+                    f"scripted rule {wanted!r} is not eligible "
+                    f"(eligible: {', '.join(eligible) or 'none'})"
+                )
+            return wanted
+        return FirstEligibleStrategy().choose(eligible)

@@ -1,0 +1,11 @@
+"""Database schema catalog: tables, columns, and types."""
+
+from repro.schema.catalog import (
+    ColumnDef,
+    ColumnType,
+    Schema,
+    TableDef,
+    schema_from_spec,
+)
+
+__all__ = ["ColumnDef", "ColumnType", "Schema", "TableDef", "schema_from_spec"]

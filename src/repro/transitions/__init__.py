@@ -1,0 +1,23 @@
+"""Transition theory: primitive deltas, net effects, transition tables.
+
+Implements the net-effect semantics of Section 2 of the paper (after
+[WF90]): rules consider only the *net effect* of a transition, composed
+at tuple granularity:
+
+1. several updates of one tuple → the single composite update;
+2. update then delete → just the deletion (of the original value);
+3. insert then update → insertion of the updated tuple;
+4. insert then delete → nothing at all.
+"""
+
+from repro.transitions.delta import DeltaLog, Primitive
+from repro.transitions.net_effect import NetEffect, TableNetEffect
+from repro.transitions.transition_tables import transition_table_overlays
+
+__all__ = [
+    "DeltaLog",
+    "Primitive",
+    "NetEffect",
+    "TableNetEffect",
+    "transition_table_overlays",
+]

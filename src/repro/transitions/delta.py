@@ -1,0 +1,98 @@
+"""Primitive tuple-level operations and the append-only delta log.
+
+The rule processor appends a :class:`Primitive` for every tuple an
+INSERT/DELETE/UPDATE statement touches. Each rule holds a *marker* (a
+log position); the rule's current triggering transition is the net
+effect of the log suffix past its marker. This reproduces the
+composite-transition bookkeeping of Section 2: rules not yet considered
+see operations folded into the transition that first triggered them,
+while a rule already considered only sees operations executed since.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One tuple-level operation, as executed (not net-effect composed).
+
+    ``kind`` is ``"I"``, ``"D"`` or ``"U"``. ``old`` is None for inserts;
+    ``new`` is None for deletes.
+    """
+
+    seq: int
+    kind: str
+    table: str
+    tid: int
+    old: tuple | None
+    new: tuple | None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("I", "D", "U"):
+            raise ValueError(f"bad primitive kind {self.kind!r}")
+        if self.kind == "I" and (self.old is not None or self.new is None):
+            raise ValueError("insert primitive needs new values only")
+        if self.kind == "D" and (self.old is None or self.new is not None):
+            raise ValueError("delete primitive needs old values only")
+        if self.kind == "U" and (self.old is None or self.new is None):
+            raise ValueError("update primitive needs old and new values")
+
+
+class DeltaLog:
+    """An append-only log of primitives with stable positions."""
+
+    def __init__(self) -> None:
+        self._primitives: list[Primitive] = []
+
+    @property
+    def position(self) -> int:
+        """The current end-of-log position (a marker value)."""
+        return len(self._primitives)
+
+    def record_insert(self, table: str, tid: int, values: tuple) -> Primitive:
+        return self._append("I", table, tid, None, values)
+
+    def record_delete(self, table: str, tid: int, values: tuple) -> Primitive:
+        return self._append("D", table, tid, values, None)
+
+    def record_update(
+        self, table: str, tid: int, old: tuple, new: tuple
+    ) -> Primitive:
+        return self._append("U", table, tid, old, new)
+
+    def _append(
+        self,
+        kind: str,
+        table: str,
+        tid: int,
+        old: tuple | None,
+        new: tuple | None,
+    ) -> Primitive:
+        primitive = Primitive(
+            seq=len(self._primitives),
+            kind=kind,
+            table=table.lower(),
+            tid=tid,
+            old=old,
+            new=new,
+        )
+        self._primitives.append(primitive)
+        return primitive
+
+    def since(self, marker: int) -> list[Primitive]:
+        """The primitives appended at or after log position *marker*."""
+        if marker < 0:
+            raise ValueError("marker must be non-negative")
+        return self._primitives[marker:]
+
+    def all(self) -> list[Primitive]:
+        return list(self._primitives)
+
+    def truncate(self, position: int) -> None:
+        """Discard primitives past *position* (used by rollback restore)."""
+        del self._primitives[position:]
+
+    def __len__(self) -> int:
+        return len(self._primitives)

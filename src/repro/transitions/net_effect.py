@@ -1,0 +1,189 @@
+"""Net-effect composition of primitive operations ([WF90], Section 2).
+
+Folding a primitive sequence at tuple (tid) granularity yields, per
+table, three disjoint maps: inserted tuples, deleted tuples (with their
+pre-transition values), and updated tuples (with pre- and
+post-transition values). Identity composite updates (old == new after
+composition) vanish from the net effect: a sequence of updates that
+restores a tuple's original values triggers nothing — which is also what
+makes rule *untriggering* (Section 3's ``Can-Untrigger``) possible at
+the tuple level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transitions.delta import Primitive
+
+
+@dataclass
+class TableNetEffect:
+    """The net effect of a transition on a single table."""
+
+    table: str
+    inserted: dict[int, tuple] = field(default_factory=dict)
+    deleted: dict[int, tuple] = field(default_factory=dict)
+    updated: dict[int, tuple[tuple, tuple]] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        return not (self.inserted or self.deleted or self.updated)
+
+    def updated_columns(self, column_names: tuple[str, ...]) -> frozenset[str]:
+        """Column names whose value changed in some composite update."""
+        changed: set[str] = set()
+        for old, new in self.updated.values():
+            for name, old_value, new_value in zip(column_names, old, new):
+                if old_value != new_value or type(old_value) is not type(
+                    new_value
+                ):
+                    changed.add(name)
+        return frozenset(changed)
+
+    def canonical(self) -> tuple:
+        """A hashable, tid-free canonical form (for execution-graph states).
+
+        Tids are surrogate identifiers; two transitions that insert,
+        delete and update the same bags of values are the same
+        transition for state-identity purposes.
+        """
+        return (
+            self.table,
+            tuple(sorted(self.inserted.values(), key=_row_key)),
+            tuple(sorted(self.deleted.values(), key=_row_key)),
+            tuple(
+                sorted(
+                    self.updated.values(),
+                    key=lambda pair: (_row_key(pair[0]), _row_key(pair[1])),
+                )
+            ),
+        )
+
+
+def _row_key(values: tuple) -> tuple:
+    from repro.engine.values import row_sort_key
+
+    return row_sort_key(values)
+
+
+class NetEffect:
+    """The net effect of a transition across all tables."""
+
+    def __init__(self, tables: dict[str, TableNetEffect] | None = None) -> None:
+        self._tables = tables or {}
+
+    @classmethod
+    def from_primitives(cls, primitives: list[Primitive]) -> "NetEffect":
+        """Fold *primitives* (in sequence order) into their net effect."""
+        tables: dict[str, TableNetEffect] = {}
+        for primitive in primitives:
+            effect = tables.get(primitive.table)
+            if effect is None:
+                effect = TableNetEffect(primitive.table)
+                tables[primitive.table] = effect
+            _fold(effect, primitive)
+
+        # Drop identity composite updates and empty tables.
+        for effect in tables.values():
+            identity = [
+                tid
+                for tid, (old, new) in effect.updated.items()
+                if old == new
+            ]
+            for tid in identity:
+                del effect.updated[tid]
+        tables = {
+            name: effect for name, effect in tables.items() if not effect.is_empty()
+        }
+        return cls(tables)
+
+    def table(self, name: str) -> TableNetEffect:
+        """The (possibly empty) net effect on table *name*."""
+        return self._tables.get(name.lower(), TableNetEffect(name.lower()))
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def is_empty(self) -> bool:
+        return not self._tables
+
+    def operations(
+        self, column_names_of: dict[str, tuple[str, ...]]
+    ) -> frozenset:
+        """The operation set ``O ⊆ O`` of this transition (Section 3).
+
+        Returns :class:`~repro.rules.events.TriggerEvent` values:
+        ``(I, t)`` when the net effect inserts into ``t``; ``(D, t)``
+        when it deletes; ``(U, t.c)`` for every column ``c`` changed by
+        a composite update. *column_names_of* maps table name to its
+        column-name tuple (needed to name updated columns).
+        """
+        from repro.rules.events import TriggerEvent
+
+        operations: set = set()
+        for name, effect in self._tables.items():
+            if effect.inserted:
+                operations.add(TriggerEvent.insert(name))
+            if effect.deleted:
+                operations.add(TriggerEvent.delete(name))
+            if effect.updated:
+                for column in effect.updated_columns(column_names_of[name]):
+                    operations.add(TriggerEvent.update(name, column))
+        return frozenset(operations)
+
+    def canonical(self) -> tuple:
+        return tuple(
+            self._tables[name].canonical() for name in sorted(self._tables)
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self._tables):
+            effect = self._tables[name]
+            parts.append(
+                f"{name}(+{len(effect.inserted)} -{len(effect.deleted)} "
+                f"~{len(effect.updated)})"
+            )
+        return f"NetEffect({', '.join(parts) or 'empty'})"
+
+
+def _fold(effect: TableNetEffect, primitive: Primitive) -> None:
+    tid = primitive.tid
+    if primitive.kind == "I":
+        if tid in effect.inserted or tid in effect.updated or tid in effect.deleted:
+            # Tids are unique for a tuple's lifetime, so re-insertion of a
+            # tid can only be the rollback-free re-use guarded against in
+            # storage; reaching here indicates a processor bug.
+            raise ValueError(f"tid {tid} already present in net effect")
+        effect.inserted[tid] = primitive.new
+        return
+
+    if primitive.kind == "U":
+        if tid in effect.inserted:
+            # insert then update => insert of the updated tuple
+            effect.inserted[tid] = primitive.new
+            return
+        if tid in effect.updated:
+            # update then update => composite update
+            original_old, __ = effect.updated[tid]
+            effect.updated[tid] = (original_old, primitive.new)
+            return
+        if tid in effect.deleted:
+            raise ValueError(f"update of deleted tid {tid}")
+        effect.updated[tid] = (primitive.old, primitive.new)
+        return
+
+    # primitive.kind == "D"
+    if tid in effect.inserted:
+        # insert then delete => not considered at all
+        del effect.inserted[tid]
+        return
+    if tid in effect.updated:
+        # update then delete => deletion of the original value
+        original_old, __ = effect.updated.pop(tid)
+        effect.deleted[tid] = original_old
+        return
+    if tid in effect.deleted:
+        raise ValueError(f"double delete of tid {tid}")
+    effect.deleted[tid] = primitive.old

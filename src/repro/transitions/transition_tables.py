@@ -1,0 +1,45 @@
+"""Materialization of transition tables for rule conditions and actions.
+
+At the moment a rule is considered, its condition and action see four
+logical tables reflecting its triggering transition (Section 2):
+
+* ``inserted``      — tuples of the rule's table inserted by the transition;
+* ``deleted``       — tuples deleted by it;
+* ``new_updated``   — post-transition values of updated tuples;
+* ``old_updated``   — pre-transition values of updated tuples.
+
+A rule may only refer to transition tables corresponding to its
+triggering operations; :mod:`repro.rules.rule` validates that statically.
+"""
+
+from __future__ import annotations
+
+from repro.transitions.net_effect import NetEffect
+
+TRANSITION_TABLES = ("inserted", "deleted", "new_updated", "old_updated")
+
+
+def transition_table_overlays(
+    net_effect: NetEffect,
+    table: str,
+    column_names: tuple[str, ...],
+) -> dict[str, tuple[tuple[str, ...], list[tuple]]]:
+    """Build overlay entries serving the four transition tables.
+
+    The overlays map each transition-table name to ``(columns, rows)``
+    in the format expected by
+    :class:`repro.engine.query.OverlayProvider`. Rows are sorted by tid,
+    giving deterministic iteration order.
+    """
+    effect = net_effect.table(table)
+    inserted = [effect.inserted[tid] for tid in sorted(effect.inserted)]
+    deleted = [effect.deleted[tid] for tid in sorted(effect.deleted)]
+    updated_tids = sorted(effect.updated)
+    old_updated = [effect.updated[tid][0] for tid in updated_tids]
+    new_updated = [effect.updated[tid][1] for tid in updated_tids]
+    return {
+        "inserted": (column_names, inserted),
+        "deleted": (column_names, deleted),
+        "new_updated": (column_names, new_updated),
+        "old_updated": (column_names, old_updated),
+    }

@@ -1,0 +1,26 @@
+"""Ground-truth validation: execution-graph oracle and soundness checks.
+
+The paper's guarantees are one-directional ("guaranteed" vs "may not").
+This package turns that into executable checks:
+
+* :mod:`repro.validate.oracle` wraps the execution-graph explorer into
+  per-instance verdicts (does *this* rule set on *this* database with
+  *this* initial transition terminate / converge / emit one stream?);
+* :mod:`repro.validate.soundness` compares static verdicts against
+  oracle verdicts over many instances, asserting the conservative
+  direction: a static "guaranteed" must never be contradicted;
+* :mod:`repro.validate.execution_model` checks Lemma 4.1's edge
+  properties on explored execution graphs.
+"""
+
+from repro.validate.oracle import OracleVerdict, oracle_verdict
+from repro.validate.soundness import SoundnessReport, check_soundness
+from repro.validate.execution_model import check_execution_edges
+
+__all__ = [
+    "OracleVerdict",
+    "oracle_verdict",
+    "SoundnessReport",
+    "check_soundness",
+    "check_execution_edges",
+]

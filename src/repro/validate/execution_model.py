@@ -1,0 +1,127 @@
+"""Checking Lemma 4.1's execution-graph edge properties (Experiment E11).
+
+For every edge from ``(D1, TR1)`` to ``(D2, TR2)`` labeled ``r``:
+
+* ``r ∈ Choose(TR1)`` — the considered rule was eligible;
+* the operations ``O'`` actually executed by ``r``'s action satisfy
+  ``O' ⊆ Performs(r)``;
+* ``TR1 \\ TR2 ⊆ {r} ∪ Can-Untrigger(O')`` — rules only disappear by
+  being considered or untriggered;
+* ``TR2 \\ TR1 ⊆ {r' | O' ∩ Triggered-By(r') ≠ ∅}`` — rules only appear
+  when the action's operations trigger them.
+
+(The last two are the containments the static analyses rely on; the
+net-effect semantics makes the "adds all" direction of step 3
+conservative, since a rule's composite transition can absorb the new
+operations — see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.derived import DerivedDefinitions
+from repro.runtime.processor import RuleProcessor
+from repro.transitions.net_effect import NetEffect
+
+
+@dataclass
+class EdgeCheckReport:
+    """Outcome of checking Lemma 4.1 over an explored execution graph."""
+
+    edges_checked: int = 0
+    violations: list[str] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+
+def check_execution_edges(
+    processor: RuleProcessor,
+    max_states: int = 500,
+) -> EdgeCheckReport:
+    """Explore from *processor*'s state, verifying Lemma 4.1 per edge."""
+    definitions = DerivedDefinitions(processor.ruleset)
+    column_names = {
+        table.name: table.column_names for table in processor.ruleset.schema
+    }
+    report = EdgeCheckReport()
+
+    seen: set[tuple] = set()
+    frontier: deque[RuleProcessor] = deque([processor.fork()])
+    seen.add(processor.state_key())
+
+    while frontier:
+        current = frontier.popleft()
+        triggered_before = frozenset(current.triggered_rules())
+        eligible = current.eligible_rules()
+        if not eligible:
+            continue
+        if len(seen) >= max_states:
+            report.truncated = True
+            break
+
+        choose_set = frozenset(current.ruleset.choose(triggered_before))
+        for rule_name in eligible:
+            # Property 1: r ∈ Choose(TR1).
+            if rule_name not in choose_set:
+                report.violations.append(
+                    f"edge rule {rule_name!r} not in Choose(TR1)"
+                )
+
+            child = current.fork()
+            log_before = child.log.position
+            child.consider(rule_name)
+            report.edges_checked += 1
+
+            executed = child.log.since(log_before)
+            operations = NetEffect.from_primitives(executed).operations(
+                column_names
+            )
+
+            # Property 2: O' ⊆ Performs(r).
+            extra = operations - definitions.performs(rule_name)
+            if extra:
+                report.violations.append(
+                    f"rule {rule_name!r} performed "
+                    f"{sorted(map(str, extra))} outside Performs"
+                )
+
+            triggered_after = frozenset(child.triggered_rules())
+
+            # Property 3 (removal direction): TR1 \ TR2 ⊆ {r} ∪ Can-Untrigger(O').
+            removed = triggered_before - triggered_after
+            allowed_removed = {rule_name} | definitions.can_untrigger(operations)
+            if child.rolled_back:
+                # A rollback clears the triggered set wholesale; skip.
+                allowed_removed = triggered_before
+            stray_removed = removed - allowed_removed
+            if stray_removed:
+                report.violations.append(
+                    f"edge {rule_name!r}: rules {sorted(stray_removed)} "
+                    "disappeared without consideration or untriggering"
+                )
+
+            # Property 3 (addition direction): TR2 \ TR1 only via O'.
+            added = triggered_after - triggered_before
+            allowed_added = {
+                other
+                for other in definitions.rule_names
+                if operations & definitions.triggered_by(other)
+            }
+            stray_added = added - allowed_added
+            if stray_added:
+                report.violations.append(
+                    f"edge {rule_name!r}: rules {sorted(stray_added)} "
+                    "appeared without a triggering operation"
+                )
+
+            key = child.state_key()
+            if key not in seen:
+                seen.add(key)
+                frontier.append(child)
+
+    return report

@@ -1,0 +1,105 @@
+"""Per-instance ground truth via exhaustive execution-graph exploration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.runtime.exec_graph import ExecutionGraph, explore
+from repro.runtime.processor import RuleProcessor
+from repro.rules.ruleset import RuleSet
+
+
+@dataclass
+class OracleVerdict:
+    """Observed behavior of one concrete instance.
+
+    ``terminates=None`` means exploration was truncated — the instance
+    is too large to decide, and soundness checks skip it (conservative
+    analyses are allowed to be unverifiable, never wrong).
+    """
+
+    terminates: bool | None
+    confluent: bool | None
+    observably_deterministic: bool | None
+    graph: ExecutionGraph
+
+    @property
+    def decided(self) -> bool:
+        return self.terminates is not None
+
+
+def oracle_verdict(
+    ruleset: RuleSet,
+    database: Database,
+    user_statements: list,
+    max_states: int = 2_000,
+    max_depth: int = 200,
+    max_paths: int = 20_000,
+) -> OracleVerdict:
+    """Explore all execution orders of one instance and report verdicts.
+
+    The database is copied; the caller's instance is never mutated.
+    """
+    processor = RuleProcessor(ruleset, database.copy())
+    for statement in user_statements:
+        processor.execute_user(statement)
+    graph = explore(
+        processor,
+        max_states=max_states,
+        max_depth=max_depth,
+        max_paths=max_paths,
+    )
+
+    if graph.truncated:
+        return OracleVerdict(
+            terminates=None,
+            confluent=None,
+            observably_deterministic=None,
+            graph=graph,
+        )
+    if graph.has_cycle:
+        return OracleVerdict(
+            terminates=False,
+            confluent=None,  # nonterminating: confluence undefined
+            observably_deterministic=None,
+            graph=graph,
+        )
+    streams_known = not graph.streams_truncated
+    return OracleVerdict(
+        terminates=True,
+        confluent=graph.is_confluent,
+        observably_deterministic=(
+            graph.is_observably_deterministic if streams_known else None
+        ),
+        graph=graph,
+    )
+
+
+def oracle_partial_confluence(
+    ruleset: RuleSet,
+    database: Database,
+    user_statements: list,
+    tables: list[str],
+    **kwargs,
+) -> bool | None:
+    """Ground truth for partial confluence: do all final states agree on
+    the projection to *tables*? None if undecidable (truncated/cyclic)."""
+    processor = RuleProcessor(ruleset, database.copy())
+    for statement in user_statements:
+        processor.execute_user(statement)
+    graph = explore(processor, **kwargs)
+    if graph.truncated or graph.has_cycle:
+        return None
+
+    projections = set()
+    # Re-derive the projected database for each final state by replaying:
+    # final_databases holds full canonical dumps; project them.
+    wanted = {table.lower() for table in tables}
+    for full in graph.final_databases.values():
+        projections.add(
+            tuple(
+                (name, contents) for name, contents in full if name in wanted
+            )
+        )
+    return len(projections) <= 1

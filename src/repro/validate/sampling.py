@@ -1,0 +1,91 @@
+"""Monte-Carlo sampling of execution orders.
+
+Exhaustive execution-graph exploration (the Section 4 oracle) is
+exponential in branching; for instances beyond its budget this module
+samples random execution orders instead. Sampling can *refute*
+confluence or observable determinism (two samples disagreeing is a
+counterexample) but never certify them — the same one-sidedness as the
+paper's static analyses, from the opposite direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.errors import RuleProcessingLimitExceeded
+from repro.runtime.observer import ObservableAction
+from repro.runtime.processor import RuleProcessor
+from repro.runtime.strategies import RandomStrategy
+from repro.rules.ruleset import RuleSet
+
+
+@dataclass
+class SampleReport:
+    """What *n* random execution orders of one instance produced."""
+
+    runs: int = 0
+    #: runs that exceeded the step budget (possible nontermination)
+    exhausted: int = 0
+    #: runs ending in rollback
+    rolled_back: int = 0
+    final_databases: set[tuple] = field(default_factory=set)
+    observable_streams: set[tuple[ObservableAction, ...]] = field(
+        default_factory=set
+    )
+
+    @property
+    def all_terminated(self) -> bool:
+        return self.exhausted == 0
+
+    @property
+    def confluence_refuted(self) -> bool:
+        return len(self.final_databases) > 1
+
+    @property
+    def observable_determinism_refuted(self) -> bool:
+        return len(self.observable_streams) > 1
+
+    def describe(self) -> str:
+        return (
+            f"{self.runs} sampled runs: {len(self.final_databases)} distinct "
+            f"final states, {len(self.observable_streams)} observable "
+            f"streams, {self.exhausted} exhausted, {self.rolled_back} "
+            "rolled back"
+        )
+
+
+def sample_runs(
+    ruleset: RuleSet,
+    database: Database,
+    user_statements: list,
+    runs: int = 20,
+    seed: int = 0,
+    max_steps: int = 5_000,
+) -> SampleReport:
+    """Execute *runs* random-order runs of one instance.
+
+    The caller's database is never mutated. Runs exceeding *max_steps*
+    are counted as ``exhausted`` and contribute no final state.
+    """
+    report = SampleReport()
+    for index in range(runs):
+        processor = RuleProcessor(
+            ruleset,
+            database.copy(),
+            strategy=RandomStrategy(seed * 10_007 + index),
+            max_steps=max_steps,
+        )
+        for statement in user_statements:
+            processor.execute_user(statement)
+        report.runs += 1
+        try:
+            result = processor.run()
+        except RuleProcessingLimitExceeded:
+            report.exhausted += 1
+            continue
+        if result.outcome == "rolled_back":
+            report.rolled_back += 1
+        report.final_databases.add(processor.database.canonical())
+        report.observable_streams.add(tuple(result.observables))
+    return report

@@ -1,0 +1,122 @@
+"""Soundness checking: static "guaranteed" must never be contradicted.
+
+The analyses are conservative: they answer "guaranteed" or "may not".
+Soundness means a "guaranteed" verdict is never refuted by any concrete
+execution. :func:`check_soundness` runs the static analyses once per
+rule set and the oracle once per instance, and records:
+
+* **violations** — instances where a static guarantee was contradicted
+  (must be empty; the property-based tests assert this);
+* **false alarms** — instances where the static analysis said "may not"
+  but every explored execution was fine (expected: the price of
+  conservatism, and the quantity the Section 9 comparison is about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.validate.oracle import oracle_verdict
+
+
+@dataclass
+class SoundnessViolation:
+    """A static guarantee contradicted by a concrete execution."""
+
+    property_name: str
+    instance_index: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.property_name} violated on instance "
+            f"{self.instance_index}: {self.detail}"
+        )
+
+
+@dataclass
+class SoundnessReport:
+    """Aggregate result of soundness checking over many instances."""
+
+    instances: int = 0
+    undecided: int = 0
+    violations: list[SoundnessViolation] = field(default_factory=list)
+    #: property -> count of instances where "may not" proved fine
+    false_alarms: dict[str, int] = field(default_factory=dict)
+    #: property -> count of instances where the guarantee was confirmed
+    confirmations: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sound(self) -> bool:
+        return not self.violations
+
+    def _bump(self, bucket: dict[str, int], key: str) -> None:
+        bucket[key] = bucket.get(key, 0) + 1
+
+
+def check_soundness(
+    ruleset: RuleSet,
+    instances: list[tuple[Database, list]],
+    oracle_kwargs: dict | None = None,
+) -> SoundnessReport:
+    """Compare static verdicts for *ruleset* against oracle verdicts for
+    each ``(database, user_statements)`` instance."""
+    analyzer = RuleAnalyzer(ruleset)
+    report_static = analyzer.analyze()
+    report = SoundnessReport()
+    oracle_kwargs = oracle_kwargs or {}
+
+    for index, (database, statements) in enumerate(instances):
+        report.instances += 1
+        verdict = oracle_verdict(ruleset, database, statements, **oracle_kwargs)
+        if not verdict.decided:
+            report.undecided += 1
+            continue
+        _check_property(
+            report,
+            "termination",
+            static_guaranteed=report_static.terminates,
+            observed=verdict.terminates,
+            index=index,
+        )
+        if verdict.terminates:
+            _check_property(
+                report,
+                "confluence",
+                static_guaranteed=report_static.confluent,
+                observed=verdict.confluent,
+                index=index,
+            )
+            if verdict.observably_deterministic is not None:
+                _check_property(
+                    report,
+                    "observable determinism",
+                    static_guaranteed=report_static.observably_deterministic,
+                    observed=verdict.observably_deterministic,
+                    index=index,
+                )
+    return report
+
+
+def _check_property(
+    report: SoundnessReport,
+    name: str,
+    static_guaranteed: bool,
+    observed: bool,
+    index: int,
+) -> None:
+    if static_guaranteed and not observed:
+        report.violations.append(
+            SoundnessViolation(
+                property_name=name,
+                instance_index=index,
+                detail="statically guaranteed but refuted by the oracle",
+            )
+        )
+    elif static_guaranteed and observed:
+        report._bump(report.confirmations, name)
+    elif not static_guaranteed and observed:
+        report._bump(report.false_alarms, name)

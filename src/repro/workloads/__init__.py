@@ -1,0 +1,42 @@
+"""Workload generators and case-study rule applications.
+
+* :mod:`repro.workloads.generator` — seeded random rule sets, databases
+  and initial transitions, used by the soundness sweeps and benchmarks;
+* :mod:`repro.workloads.constraints` — [CW90]-style derivation of
+  integrity-maintenance rules from referential constraints;
+* :mod:`repro.workloads.powernet` — the power-network design case study
+  (a triggering-graph cycle that terminates by monotonic decrease);
+* :mod:`repro.workloads.applications` — medium-sized sample applications
+  for the Section 6.4 repair-loop, partial-confluence and observable-
+  determinism experiments.
+"""
+
+from repro.workloads.generator import (
+    GeneratorConfig,
+    LayeredRuleSetGenerator,
+    RandomInstanceGenerator,
+    RandomRuleSetGenerator,
+)
+from repro.workloads.constraints import referential_integrity_rules
+from repro.workloads.powernet import power_network_workload
+from repro.workloads.applications import (
+    apply_procurement_repairs,
+    audit_application,
+    inventory_application,
+    procurement_application,
+    scratch_table_application,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "LayeredRuleSetGenerator",
+    "RandomInstanceGenerator",
+    "RandomRuleSetGenerator",
+    "referential_integrity_rules",
+    "power_network_workload",
+    "apply_procurement_repairs",
+    "audit_application",
+    "inventory_application",
+    "procurement_application",
+    "scratch_table_application",
+]

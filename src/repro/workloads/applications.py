@@ -1,0 +1,303 @@
+"""Medium-sized sample rule applications (Section 6.4's case studies).
+
+The paper reports hand-analyzing "several medium-sized rule
+applications", most of which were initially non-confluent and were
+repaired interactively by certifying commutativity and adding
+priorities. The originals are unpublished; these reconstructions have
+the same structural ingredients — derived-data maintenance, auditing,
+cascading repairs, scratch tables — sized so that the execution-graph
+oracle can still explore them exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import Schema, schema_from_spec
+
+
+@dataclass
+class Application:
+    """A packaged rule application: schema, rules, data, a transition."""
+
+    name: str
+    schema: Schema
+    ruleset: RuleSet
+    database: Database
+    transition: list[str]
+    #: tables that matter for partial confluence (empty = not applicable)
+    important_tables: tuple[str, ...] = ()
+    #: pairs a domain expert would certify as actually commuting
+    certifiable_pairs: tuple[tuple[str, str], ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Inventory: order processing with stock maintenance and backorders.
+# Initially non-confluent (unordered rules race on stock), repairable by
+# ordering — the E5 repair-loop experiment.
+# ----------------------------------------------------------------------
+
+INVENTORY_RULES = """
+create rule reserve_stock on orders
+when inserted
+then update stock set on_hand = on_hand - 1
+     where item in (select item from inserted)
+
+create rule flag_backorder on stock
+when updated(on_hand)
+if exists (select * from new_updated where on_hand < 0)
+then insert into backorders
+     (select item, 0 - on_hand from new_updated where on_hand < 0)
+
+create rule refill_stock on stock
+when updated(on_hand)
+if exists (select * from new_updated where on_hand < 2)
+then update stock set on_hand = on_hand + 5 where on_hand < 2
+
+create rule clear_backorders on stock
+when updated(on_hand)
+if exists (select * from new_updated where on_hand >= 0)
+then delete from backorders
+     where item in (select item from new_updated where on_hand >= 0)
+
+create rule audit_orders on orders
+when inserted
+then insert into audit (select item, 1 from inserted)
+"""
+
+
+def inventory_application() -> Application:
+    schema = schema_from_spec(
+        {
+            "orders": ["id", "item"],
+            "stock": ["item", "on_hand"],
+            "backorders": ["item", "missing"],
+            "audit": ["item", "event"],
+        }
+    )
+    ruleset = RuleSet.parse(INVENTORY_RULES, schema)
+    database = Database(schema)
+    database.load("stock", [(1, 1), (2, 3)])
+    return Application(
+        name="inventory",
+        schema=schema,
+        ruleset=ruleset,
+        database=database,
+        transition=["insert into orders values (100, 1)"],
+        important_tables=("stock", "backorders"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Audit: transaction postings debit accounts; two observable reporting
+# rules watch the balances. The set is confluent (the only unordered
+# pair, the two reports, commutes on the real tables) but *not*
+# observably deterministic until the reports are ordered relative to
+# each other (Corollary 8.2) — the E8 experiment.
+# ----------------------------------------------------------------------
+
+AUDIT_RULES = """
+create rule apply_fee on txns
+when inserted
+then update accounts set balance = balance - 1
+     where id in (select account from inserted)
+
+create rule report_negative on accounts
+when updated(balance)
+then select id, balance from accounts where balance < 0
+follows apply_fee
+
+create rule report_total on accounts
+when updated(balance)
+then select sum(balance) from accounts
+follows apply_fee
+"""
+
+
+def audit_application() -> Application:
+    schema = schema_from_spec(
+        {
+            "txns": ["id", "account", "amount"],
+            "accounts": ["id", "balance"],
+        }
+    )
+    ruleset = RuleSet.parse(AUDIT_RULES, schema)
+    database = Database(schema)
+    database.load("accounts", [(1, 0), (2, 5)])
+    return Application(
+        name="audit",
+        schema=schema,
+        ruleset=ruleset,
+        database=database,
+        transition=["insert into txns values (100, 1, 7)"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Scratch tables: derived data plus a scratch workspace written in
+# rule-order-dependent ways. Non-confluent overall; confluent with
+# respect to the data tables — the E7 partial-confluence experiment.
+# ----------------------------------------------------------------------
+
+SCRATCH_RULES = """
+create rule maintain_total on sales
+when inserted
+then update totals set grand = grand + 1
+
+create rule note_last_a on sales
+when inserted
+then update scratch set last_rule = 1
+
+create rule note_last_b on sales
+when inserted
+then update scratch set last_rule = 2
+"""
+
+
+def scratch_table_application() -> Application:
+    schema = schema_from_spec(
+        {
+            "sales": ["id", "amount"],
+            "totals": ["grand"],
+            "scratch": ["last_rule"],
+        }
+    )
+    ruleset = RuleSet.parse(SCRATCH_RULES, schema)
+    database = Database(schema)
+    database.load("totals", [(0,)])
+    database.load("scratch", [(0,)])
+    return Application(
+        name="scratch",
+        schema=schema,
+        ruleset=ruleset,
+        database=database,
+        transition=["insert into sales values (1, 10)"],
+        important_tables=("sales", "totals"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Procurement: the "large and realistic rule application" of Section 9's
+# implementation plans. Three independent partitions — the procurement
+# core (constraint cascades, derived totals, budget enforcement), a
+# warehouse balancer (monotonic drift cycle), and an alerting scratch
+# pad — exercising every analysis feature at once: a certifiable
+# self-loop, an auto-certifiable drift cycle, a GROUP BY derived table,
+# an observable rollback guard, initial non-confluence with a documented
+# repair, and partial confluence w.r.t. the core tables.
+# ----------------------------------------------------------------------
+
+PROCUREMENT_RULES = """
+create rule parts_cascade on suppliers
+when deleted
+then delete from parts where supplier_id in (select id from deleted)
+
+create rule orders_cascade on parts
+when deleted
+then delete from orders where part_id in (select id from deleted)
+follows parts_cascade
+
+create rule orders_restrict on orders
+when inserted
+if exists (select * from inserted
+           where part_id not in (select id from parts))
+then rollback 'order references missing part'
+
+create rule refresh_totals on orders
+when inserted, deleted
+then delete from order_totals;
+     insert into order_totals
+     (select part_id, sum(qty) from orders group by part_id)
+follows orders_restrict, orders_cascade
+
+create rule track_spend on orders
+when inserted
+then update budget set spent = spent +
+     (select sum(qty) from inserted)
+follows orders_restrict
+
+create rule enforce_cap on budget
+when updated(spent)
+if exists (select * from budget where spent > cap)
+then update budget set spent = cap where spent > cap
+
+create rule rebalance_bins on bins
+when updated(load), inserted
+then update bins set load = load - 1 where load > 10
+
+create rule note_alert on orders
+when inserted
+then update alert_scratch set last_event = 1
+
+create rule note_alert_alt on orders
+when inserted
+then update alert_scratch set last_event = 2
+"""
+
+#: Tables whose final contents matter (partial confluence target).
+PROCUREMENT_CORE_TABLES = (
+    "suppliers",
+    "parts",
+    "orders",
+    "order_totals",
+    "budget",
+)
+
+#: The documented repair recipe reaching full confluence (in order):
+#: (kind, first, second) with kind "certify-termination" (second is
+#: None) or "order" (first > second). ``enforce_cap`` is the
+#: user-certified clamp (its condition goes false after one pass);
+#: ``rebalance_bins`` is auto-certified by the monotonic-drift
+#: heuristic; the orderings are the ones the Section 6.4 repair loop
+#: discovers.
+PROCUREMENT_REPAIRS = (
+    ("certify-termination", "enforce_cap", None),
+    ("certify-termination", "rebalance_bins", None),
+    ("order", "enforce_cap", "track_spend"),
+    ("order", "note_alert", "note_alert_alt"),
+    ("order", "note_alert", "orders_cascade"),
+    ("order", "note_alert_alt", "orders_cascade"),
+    ("order", "orders_cascade", "orders_restrict"),
+)
+
+
+def apply_procurement_repairs(analyzer) -> None:
+    """Apply :data:`PROCUREMENT_REPAIRS` to a RuleAnalyzer."""
+    for kind, first, second in PROCUREMENT_REPAIRS:
+        if kind == "certify-termination":
+            analyzer.certify_termination(first)
+        else:
+            analyzer.add_priority(first, second)
+
+
+def procurement_application() -> Application:
+    schema = schema_from_spec(
+        {
+            "suppliers": ["id", "rating"],
+            "parts": ["id", "supplier_id", "price"],
+            "orders": ["id", "part_id", "qty"],
+            "order_totals": ["part_id", "total_qty"],
+            "budget": ["period", "spent", "cap"],
+            "bins": ["id", "load"],
+            "alert_scratch": ["last_event"],
+        }
+    )
+    ruleset = RuleSet.parse(PROCUREMENT_RULES, schema)
+    database = Database(schema)
+    database.load("suppliers", [(1, 5), (2, 3)])
+    database.load("parts", [(10, 1, 100), (11, 1, 50), (20, 2, 75)])
+    database.load("orders", [(100, 10, 2)])
+    database.load("order_totals", [(10, 2)])
+    database.load("budget", [(1, 2, 10)])
+    database.load("bins", [(1, 4), (2, 12)])
+    database.load("alert_scratch", [(0,)])
+    return Application(
+        name="procurement",
+        schema=schema,
+        ruleset=ruleset,
+        database=database,
+        transition=["insert into orders values (101, 11, 3)"],
+        important_tables=PROCUREMENT_CORE_TABLES,
+    )

@@ -1,0 +1,87 @@
+"""[CW90]-style derivation of production rules from integrity constraints.
+
+[CW90] ("Deriving production rules for constraint maintenance") derives,
+for each declarative constraint, rules that repair or reject violating
+transitions. We implement the referential-integrity family, the one the
+paper's termination discussion builds on:
+
+for a foreign key ``child.fk → parent.pk`` the derivation emits
+
+* ``<name>_cascade``  — when parent rows are deleted, delete the
+  now-orphaned child rows (repair by cascade);
+* ``<name>_restrict`` — when child rows are inserted or their fk
+  updated, either delete the violating child rows (``repair``) or roll
+  the transaction back (``reject``).
+
+These rule shapes are exactly the ones whose triggering graphs [CW90]
+analyzes: cascades across a chain of foreign keys form paths, and a
+cyclic schema (a → b → a) yields a triggering-graph cycle that still
+terminates because cascades only delete — the delete-only special case
+of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import Schema
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``child.fk_column`` references ``parent.key_column``."""
+
+    child: str
+    fk_column: str
+    parent: str
+    key_column: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.child}_{self.fk_column}"
+
+
+def referential_integrity_rules(
+    schema: Schema,
+    foreign_keys: list[ForeignKey],
+    on_violation: str = "repair",
+) -> RuleSet:
+    """Derive maintenance rules for *foreign_keys* over *schema*.
+
+    ``on_violation`` is ``"repair"`` (delete violating children) or
+    ``"reject"`` (roll back the transaction — an observable action).
+    """
+    if on_violation not in ("repair", "reject"):
+        raise ValueError("on_violation must be 'repair' or 'reject'")
+
+    sources = []
+    for fk in foreign_keys:
+        sources.append(_cascade_rule(fk))
+        sources.append(_restrict_rule(fk, on_violation))
+    return RuleSet.parse("\n\n".join(sources), schema)
+
+
+def _cascade_rule(fk: ForeignKey) -> str:
+    return (
+        f"create rule {fk.name}_cascade on {fk.parent}\n"
+        f"when deleted\n"
+        f"then delete from {fk.child} where {fk.fk_column} in "
+        f"(select {fk.key_column} from deleted)"
+    )
+
+
+def _restrict_rule(fk: ForeignKey, on_violation: str) -> str:
+    violation = (
+        f"{fk.fk_column} not in (select {fk.key_column} from {fk.parent})"
+    )
+    if on_violation == "repair":
+        action = f"delete from {fk.child} where {violation}"
+    else:
+        action = f"rollback 'foreign key {fk.name} violated'"
+    return (
+        f"create rule {fk.name}_restrict on {fk.child}\n"
+        f"when inserted, updated({fk.fk_column})\n"
+        f"if exists (select * from {fk.child} where {violation})\n"
+        f"then {action}"
+    )

@@ -1,0 +1,342 @@
+"""Seeded random generation of schemas, rule sets, databases, transitions.
+
+The generator emits rule-language *source text* and parses it, so every
+generated rule also exercises the tokenizer/parser path. All randomness
+flows from one seed, making every workload reproducible.
+
+Knobs (see :class:`GeneratorConfig`):
+
+* structure — number of tables/columns/rules, triggers and actions per
+  rule;
+* interaction — probability that an action targets another rule's
+  triggering table (drives triggering-graph density);
+* priorities — probability of a precedes edge to an earlier rule
+  (acyclic by construction);
+* observability — probability a rule carries a select action.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import Schema
+
+
+@dataclass
+class GeneratorConfig:
+    """Parameters for random rule-set generation."""
+
+    n_tables: int = 3
+    n_columns: int = 3
+    n_rules: int = 6
+    max_triggers_per_rule: int = 2
+    max_actions_per_rule: int = 2
+    #: probability an action writes a different table than the rule's own
+    p_cross_table: float = 0.6
+    #: probability of adding a priority edge to each earlier rule
+    p_priority: float = 0.2
+    #: probability a rule gets an observable (select) action
+    p_observable: float = 0.0
+    #: probability a rule gets an `if` condition
+    p_condition: float = 0.5
+    #: rows per table in generated databases
+    rows_per_table: int = 3
+    #: user statements per generated initial transition
+    statements_per_transition: int = 2
+
+
+def _transition_table_for(rng: random.Random, triggers: list[str]) -> str | None:
+    """Pick a transition table consistent with the rule's triggers."""
+    options: list[str] = []
+    for trigger in triggers:
+        if trigger == "inserted":
+            options.append("inserted")
+        elif trigger == "deleted":
+            options.append("deleted")
+        elif trigger.startswith("updated"):
+            options.extend(["new_updated", "old_updated"])
+    if options and rng.random() < 0.5:
+        return rng.choice(options)
+    return None
+
+
+class RandomRuleSetGenerator:
+    """Generates (schema, rule set) pairs from a seed."""
+
+    def __init__(self, config: GeneratorConfig | None = None, seed: int = 0) -> None:
+        self.config = config or GeneratorConfig()
+        self._seed = seed
+
+    def generate(self, seed: int | None = None) -> RuleSet:
+        rng = random.Random(self._seed if seed is None else seed)
+        schema = self.generate_schema(rng)
+        source = self._generate_rules_source(rng, schema)
+        return RuleSet.parse(source, schema)
+
+    # ------------------------------------------------------------------
+
+    def generate_schema(self, rng: random.Random) -> Schema:
+        schema = Schema()
+        for t in range(self.config.n_tables):
+            columns = [f"c{i}" for i in range(self.config.n_columns)]
+            schema.add_table(f"t{t}", columns)
+        return schema
+
+    def _generate_rules_source(self, rng: random.Random, schema: Schema) -> str:
+        tables = list(schema.table_names)
+        rules: list[str] = []
+        rule_names: list[str] = []
+
+        for index in range(self.config.n_rules):
+            name = f"r{index}"
+            table = rng.choice(tables)
+            triggers = self._generate_triggers(rng, schema, table)
+            condition = self._generate_condition(rng, schema, table, triggers)
+            actions = self._generate_actions(rng, schema, table, triggers)
+            clauses = [f"create rule {name} on {table}"]
+            clauses.append(f"when {', '.join(triggers)}")
+            if condition:
+                clauses.append(f"if {condition}")
+            clauses.append("then " + ";\n     ".join(actions))
+            precedes = [
+                earlier
+                for earlier in rule_names
+                if rng.random() < self.config.p_priority
+            ]
+            if precedes:
+                clauses.append("precedes " + ", ".join(precedes))
+            rules.append("\n".join(clauses))
+            rule_names.append(name)
+
+        return "\n\n".join(rules)
+
+    def _generate_triggers(
+        self, rng: random.Random, schema: Schema, table: str
+    ) -> list[str]:
+        count = rng.randint(1, self.config.max_triggers_per_rule)
+        options = ["inserted", "deleted", "updated"]
+        chosen = rng.sample(options, min(count, len(options)))
+        rendered = []
+        for kind in chosen:
+            if kind == "updated" and rng.random() < 0.5:
+                column = rng.choice(schema.table(table).column_names)
+                rendered.append(f"updated({column})")
+            else:
+                rendered.append(kind)
+        return rendered
+
+    def _generate_condition(
+        self,
+        rng: random.Random,
+        schema: Schema,
+        table: str,
+        triggers: list[str],
+    ) -> str | None:
+        if rng.random() >= self.config.p_condition:
+            return None
+        column = rng.choice(schema.table(table).column_names)
+        threshold = rng.randint(0, 20)
+        operator = rng.choice(["<", ">", "<=", ">=", "="])
+        transition = _transition_table_for(rng, triggers)
+        source = transition if transition else table
+        return f"exists (select * from {source} where {column} {operator} {threshold})"
+
+    def _generate_actions(
+        self,
+        rng: random.Random,
+        schema: Schema,
+        table: str,
+        triggers: list[str],
+    ) -> list[str]:
+        count = rng.randint(1, self.config.max_actions_per_rule)
+        actions = []
+        for __ in range(count):
+            if rng.random() < self.config.p_cross_table:
+                target = rng.choice(list(schema.table_names))
+            else:
+                target = table
+            actions.append(self._generate_action(rng, schema, target))
+        if rng.random() < self.config.p_observable:
+            target = rng.choice(list(schema.table_names))
+            actions.append(f"select * from {target}")
+        return actions
+
+    def _generate_action(
+        self, rng: random.Random, schema: Schema, target: str
+    ) -> str:
+        columns = schema.table(target).column_names
+        kind = rng.choice(["insert", "delete", "update"])
+        if kind == "insert":
+            values = ", ".join(str(rng.randint(0, 9)) for __ in columns)
+            return f"insert into {target} values ({values})"
+        column = rng.choice(columns)
+        threshold = rng.randint(0, 20)
+        operator = rng.choice(["<", ">", "="])
+        if kind == "delete":
+            return f"delete from {target} where {column} {operator} {threshold}"
+        assign_column = rng.choice(columns)
+        delta = rng.randint(1, 5)
+        return (
+            f"update {target} set {assign_column} = {assign_column} + {delta} "
+            f"where {column} {operator} {threshold}"
+        )
+
+
+class LayeredRuleSetGenerator:
+    """Random rule sets with an acyclic triggering graph by construction.
+
+    Tables are ordered ``t0 < t1 < ... < tn``; a rule triggered on
+    ``ti`` only writes tables strictly later in the order, so triggering
+    chains always move forward and ``TG_R`` is a DAG. This models the
+    common shape of real applications (derived-data maintenance flows
+    downstream) and makes static acceptance rates tunable by the
+    conflict knobs alone — the benchmarks use it wherever termination
+    noise would drown the confluence signal.
+
+    ``p_conflict`` controls how often a rule writes a table an earlier
+    rule wrote; ``p_same_column`` controls whether such a reuse hits the
+    same column (a real update-update conflict) or a sibling column
+    (harmless under column granularity, flagged under table
+    granularity — the E12 ablation's lever); ``p_priority`` orders rules
+    as in :class:`RandomRuleSetGenerator`.
+    """
+
+    def __init__(
+        self,
+        config: GeneratorConfig | None = None,
+        seed: int = 0,
+        p_conflict: float = 0.3,
+        p_same_column: float = 1.0,
+    ) -> None:
+        self.config = config or GeneratorConfig()
+        self._seed = seed
+        self.p_conflict = p_conflict
+        self.p_same_column = p_same_column
+
+    def generate(self, seed: int | None = None) -> RuleSet:
+        rng = random.Random(self._seed if seed is None else seed)
+        schema = Schema()
+        for t in range(self.config.n_tables):
+            schema.add_table(
+                f"t{t}", [f"c{i}" for i in range(self.config.n_columns)]
+            )
+        tables = list(schema.table_names)
+
+        rules: list[str] = []
+        rule_names: list[str] = []
+        #: (table, column) targets already written by an earlier rule —
+        #: reused with probability p_conflict to manufacture conflicts.
+        written: list[tuple[str, str]] = []
+
+        for index in range(self.config.n_rules):
+            name = f"r{index}"
+            # A rule on the last table would have nowhere to write.
+            table_index = rng.randrange(0, len(tables) - 1)
+            table = tables[table_index]
+            trigger = rng.choice(["inserted", "deleted", "updated"])
+
+            if written and rng.random() < self.p_conflict:
+                target, column = rng.choice(written)
+                # Only reuse targets downstream of this rule's table.
+                if int(target[1:]) <= table_index:
+                    target = rng.choice(tables[table_index + 1 :])
+                    column = rng.choice(schema.table(target).column_names)
+                elif rng.random() >= self.p_same_column:
+                    # Same table, different column when one exists.
+                    siblings = [
+                        name
+                        for name in schema.table(target).column_names
+                        if name != column
+                    ]
+                    if siblings:
+                        column = rng.choice(siblings)
+            else:
+                target = rng.choice(tables[table_index + 1 :])
+                column = rng.choice(schema.table(target).column_names)
+            written.append((target, column))
+
+            kind = rng.choice(["insert", "update"])
+            if kind == "insert":
+                values = ", ".join(
+                    str(rng.randint(0, 9))
+                    for __ in schema.table(target).column_names
+                )
+                action = f"insert into {target} values ({values})"
+            else:
+                action = (
+                    f"update {target} set {column} = {column} + "
+                    f"{rng.randint(1, 3)}"
+                )
+
+            clauses = [f"create rule {name} on {table}", f"when {trigger}"]
+            clauses.append(f"then {action}")
+            if rng.random() < self.config.p_observable:
+                clauses[-1] += f";\n     select * from {target}"
+            precedes = [
+                earlier
+                for earlier in rule_names
+                if rng.random() < self.config.p_priority
+            ]
+            if precedes:
+                clauses.append("precedes " + ", ".join(precedes))
+            rules.append("\n".join(clauses))
+            rule_names.append(name)
+
+        return RuleSet.parse("\n\n".join(rules), schema)
+
+
+class RandomInstanceGenerator:
+    """Generates (database, user statements) instances for a schema."""
+
+    def __init__(self, config: GeneratorConfig | None = None) -> None:
+        self.config = config or GeneratorConfig()
+
+    def generate_database(self, schema: Schema, seed: int = 0) -> Database:
+        rng = random.Random(seed)
+        database = Database(schema)
+        for table in schema:
+            rows = [
+                tuple(rng.randint(0, 9) for __ in table.column_names)
+                for __ in range(self.config.rows_per_table)
+            ]
+            database.load(table.name, rows)
+        return database
+
+    def generate_transition(self, schema: Schema, seed: int = 0) -> list[str]:
+        """Random user statements forming an initial transition."""
+        rng = random.Random(seed)
+        statements = []
+        tables = list(schema.table_names)
+        for __ in range(self.config.statements_per_transition):
+            table = rng.choice(tables)
+            columns = schema.table(table).column_names
+            kind = rng.choice(["insert", "delete", "update"])
+            if kind == "insert":
+                values = ", ".join(str(rng.randint(0, 9)) for __ in columns)
+                statements.append(f"insert into {table} values ({values})")
+            elif kind == "delete":
+                column = rng.choice(columns)
+                statements.append(
+                    f"delete from {table} where {column} = {rng.randint(0, 9)}"
+                )
+            else:
+                column = rng.choice(columns)
+                statements.append(
+                    f"update {table} set {column} = {column} + "
+                    f"{rng.randint(1, 3)} where {column} < {rng.randint(3, 9)}"
+                )
+        return statements
+
+    def generate_instances(
+        self, schema: Schema, count: int, seed: int = 0
+    ) -> list[tuple[Database, list[str]]]:
+        return [
+            (
+                self.generate_database(schema, seed=seed * 1_000 + i),
+                self.generate_transition(schema, seed=seed * 1_000 + i + 500),
+            )
+            for i in range(count)
+        ]

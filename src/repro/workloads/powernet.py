@@ -1,0 +1,108 @@
+"""The power-network design case study (Section 5, after [CW90]).
+
+The paper reports using the interactive termination process "to
+establish termination for a set of rules in a power network design
+application". The original application is not published; this module
+reconstructs its essential structure (see DESIGN.md "Substitutions"):
+
+Schema: ``node(id, demand, supply)``, ``branch(id, src, dst, load,
+capacity)``.
+
+Rules:
+
+* ``shed_overload``  — when branch loads change and some branch exceeds
+  its capacity, decrement the load of every overloaded branch (the
+  network design sheds one unit per pass);
+* ``propagate_demand`` — when a node's demand rises above its supply,
+  raise branch loads feeding that node and bump the node's supply;
+* ``balance_supply`` — when supply changes, lower demand where supply
+  now exceeds it.
+
+``shed_overload`` updates ``branch.load`` and is triggered by
+``updated(load)`` — a self-loop in the triggering graph — and
+``propagate_demand``/``balance_supply`` form a two-rule cycle through
+``node.supply``/``node.demand``. Theorem 5.1 therefore *cannot* certify
+termination. But every rule's action strictly decreases a non-negative
+quantity (total overload; total demand–supply gap), so rule processing
+terminates — which the user certifies interactively, reproducing the
+case-study flow. The execution-graph oracle confirms termination on
+concrete instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import Schema, schema_from_spec
+
+POWER_NETWORK_RULES = """
+create rule shed_overload on branch
+when updated(load), inserted
+if exists (select * from branch where load > capacity)
+then update branch set load = load - 1 where load > capacity
+
+create rule propagate_demand on node
+when updated(demand), inserted
+if exists (select * from node where demand > supply)
+then update branch set load = load + 1
+     where dst in (select id from node where demand > supply);
+     update node set supply = supply + 1 where demand > supply
+
+create rule balance_supply on node
+when updated(supply)
+if exists (select * from node where supply > demand + 2)
+then update node set demand = demand + 1 where supply > demand + 2
+"""
+
+
+@dataclass
+class PowerNetworkWorkload:
+    """Schema, rules, and a concrete network instance."""
+
+    schema: Schema
+    ruleset: RuleSet
+    database: Database
+
+    #: rules whose repeated consideration guarantees progress — the
+    #: certifications the case study's user supplies (each action
+    #: strictly shrinks a bounded non-negative measure).
+    certifiable_rules: tuple[str, ...] = (
+        "shed_overload",
+        "propagate_demand",
+        "balance_supply",
+    )
+
+    def overload_transition(self) -> list[str]:
+        """A design change that overloads part of the network."""
+        return [
+            "update node set demand = demand + 3 where id = 1",
+            "update branch set load = load + 3 where id = 10",
+        ]
+
+
+def power_network_schema() -> Schema:
+    return schema_from_spec(
+        {
+            "node": ["id", "demand", "supply"],
+            "branch": ["id", "src", "dst", "load", "capacity"],
+        }
+    )
+
+
+def power_network_workload(size: int = 3) -> PowerNetworkWorkload:
+    """Build the case study with *size* nodes in a chain topology."""
+    schema = power_network_schema()
+    ruleset = RuleSet.parse(POWER_NETWORK_RULES, schema)
+
+    database = Database(schema)
+    nodes = [(i, 2, 4) for i in range(1, size + 1)]  # demand 2, supply 4
+    database.load("node", nodes)
+    branches = [
+        (10 + i, i, i + 1, 1, 3)  # load 1, capacity 3
+        for i in range(1, size)
+    ]
+    branches.append((10, size, 1, 1, 3))  # ring-closing branch into node 1
+    database.load("branch", branches)
+    return PowerNetworkWorkload(schema=schema, ruleset=ruleset, database=database)

@@ -1,0 +1,128 @@
+"""RuleAnalyzer facade tests — the interactive loop of Sections 5/6.4."""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"]})
+
+
+CONFLICTING = """
+create rule a on t when inserted then update u set w = 0
+create rule b on t when inserted then update u set w = 1
+create rule c on t when inserted then update u set w = 2
+"""
+
+
+class TestReports:
+    def test_summary_mentions_all_three_properties(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTING, schema))
+        summary = analyzer.analyze().summary()
+        assert "termination" in summary
+        assert "confluence" in summary
+        assert "observable determinism" in summary
+
+    def test_clean_rule_set_passes_everything(self, schema):
+        analyzer = RuleAnalyzer(
+            RuleSet.parse(
+                "create rule a on t when inserted then update u set w = 0",
+                schema,
+            )
+        )
+        report = analyzer.analyze()
+        assert report.terminates
+        assert report.confluent
+        assert report.observably_deterministic
+
+
+class TestInteractiveLoop:
+    def test_certify_then_reanalyze(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTING, schema))
+        assert not analyzer.analyze().confluent
+        analyzer.certify_commutes("a", "b")
+        analyzer.certify_commutes("a", "c")
+        analyzer.certify_commutes("b", "c")
+        assert analyzer.analyze().confluent
+
+    def test_order_then_reanalyze(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTING, schema))
+        analyzer.add_priority("a", "b")
+        analyzer.add_priority("b", "c")
+        assert analyzer.analyze().confluent
+
+    def test_certify_termination(self, schema):
+        analyzer = RuleAnalyzer(
+            RuleSet.parse(
+                "create rule loop on t when inserted, updated(v) "
+                "then update t set v = 0 where v < 0",
+                schema,
+            )
+        )
+        assert not analyzer.analyze().terminates
+        analyzer.certify_termination("loop")
+        assert analyzer.analyze().terminates
+
+
+class TestRepairLoop:
+    def test_pure_ordering_repair(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTING, schema))
+        analysis, actions = analyzer.repair_confluence()
+        assert analysis.requirement_holds
+        assert all(action.startswith("order(") for action in actions)
+        # three mutually conflicting rules need at least two orderings
+        assert len(actions) >= 2
+
+    def test_oracle_certification_repair(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTING, schema))
+        analysis, actions = analyzer.repair_confluence(
+            oracle_commutes=lambda first, second: True
+        )
+        assert analysis.requirement_holds
+        assert all(action.startswith("certify(") for action in actions)
+        assert len(actions) == 3
+
+    def test_repair_shows_nonconfluence_moving_around(self, schema):
+        # Ordering one pair is not enough; new violations surface and
+        # require further orderings — the paper's iterative phenomenon.
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTING, schema))
+        __, actions = analyzer.repair_confluence()
+        assert len(actions) > 1
+
+    def test_repair_is_idempotent_when_already_confluent(self, schema):
+        analyzer = RuleAnalyzer(
+            RuleSet.parse(
+                "create rule a on t when inserted then update u set w = 0",
+                schema,
+            )
+        )
+        analysis, actions = analyzer.repair_confluence()
+        assert analysis.requirement_holds
+        assert actions == []
+
+
+class TestPartialAndObservableDelegation:
+    def test_partial_confluence_uses_shared_certifications(self, schema):
+        source = """
+        create rule wa on t when inserted then update u set w = 0
+        create rule wb on t when inserted then update u set w = 1
+        """
+        analyzer = RuleAnalyzer(RuleSet.parse(source, schema))
+        assert not analyzer.analyze_partial_confluence(
+            ["u"]
+        ).confluent_with_respect_to_tables
+        analyzer.certify_commutes("wa", "wb")
+        assert analyzer.analyze_partial_confluence(
+            ["u"]
+        ).confluent_with_respect_to_tables
+
+    def test_observable_determinism_delegation(self, schema):
+        source = """
+        create rule watch on t when inserted then select * from t
+        """
+        analyzer = RuleAnalyzer(RuleSet.parse(source, schema))
+        assert analyzer.analyze().observably_deterministic

@@ -1,0 +1,239 @@
+"""Confluence analysis tests — Definition 6.5, Theorem 6.7, Section 6.4."""
+
+import pytest
+
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.confluence import ConfluenceAnalyzer, build_interference_sets
+from repro.analysis.derived import DerivedDefinitions
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec(
+        {"t": ["id", "v"], "u": ["id", "w"], "z": ["id", "q"]}
+    )
+
+
+def setup(source, schema):
+    ruleset = RuleSet.parse(source, schema)
+    definitions = DerivedDefinitions(ruleset)
+    commutativity = CommutativityAnalyzer(definitions)
+    analyzer = ConfluenceAnalyzer(definitions, ruleset.priorities, commutativity)
+    return ruleset, definitions, commutativity, analyzer
+
+
+class TestInterferenceSets:
+    def test_base_case_is_the_pair_itself(self, schema):
+        __, definitions, __, __ = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update z set q = 0
+            """,
+            schema,
+        )
+        ruleset = definitions.ruleset
+        r1, r2 = build_interference_sets(
+            definitions, ruleset.priorities, "a", "b"
+        )
+        assert r1 == frozenset({"a"})
+        assert r2 == frozenset({"b"})
+
+    def test_triggered_higher_priority_rule_joins_r1(self, schema):
+        # a triggers helper; helper > b; helper must be considered before
+        # b on the path from Si, so it joins R1.
+        source = """
+        create rule a on t when inserted then insert into u values (1, 1)
+
+        create rule helper on u when inserted
+        then update z set q = 1
+        precedes b
+
+        create rule b on t when inserted then update z set q = 2
+        """
+        __, definitions, __, __ = setup(source, schema)
+        r1, r2 = build_interference_sets(
+            definitions, definitions.ruleset.priorities, "a", "b"
+        )
+        assert "helper" in r1
+        assert r2 == frozenset({"b"})
+
+    def test_triggered_rule_without_priority_stays_out(self, schema):
+        source = """
+        create rule a on t when inserted then insert into u values (1, 1)
+        create rule helper on u when inserted then update z set q = 1
+        create rule b on t when inserted then update z set q = 2
+        """
+        __, definitions, __, __ = setup(source, schema)
+        r1, r2 = build_interference_sets(
+            definitions, definitions.ruleset.priorities, "a", "b"
+        )
+        assert r1 == frozenset({"a"})
+
+    def test_mutual_recursion_grows_both_sides(self, schema):
+        source = """
+        create rule a on t when inserted then insert into u values (1, 1)
+
+        create rule ha on u when inserted
+        then update z set q = 1
+        precedes b
+
+        create rule b on t when inserted then insert into u values (2, 2)
+
+        create rule hb on u when inserted
+        then update z set q = 2
+        precedes a
+        """
+        __, definitions, __, __ = setup(source, schema)
+        r1, r2 = build_interference_sets(
+            definitions, definitions.ruleset.priorities, "a", "b"
+        )
+        assert "ha" in r1
+        assert "hb" in r2
+
+    def test_excluded_rule_rj_never_joins_r1(self, schema):
+        # a triggers b itself and b > ... — rj is excluded from R1 by
+        # construction (r != rj in Definition 6.5).
+        source = """
+        create rule a on t when inserted then insert into u values (1, 1)
+        create rule b on u when inserted
+        then update z set q = 2
+        precedes c
+        create rule c on t when inserted then update z set q = 3
+        """
+        __, definitions, __, __ = setup(source, schema)
+        r1, __ = build_interference_sets(
+            definitions, definitions.ruleset.priorities, "a", "b"
+        )
+        assert "b" not in r1
+
+
+class TestConfluenceRequirement:
+    def test_commuting_unordered_rules_accepted(self, schema):
+        *_, analyzer = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update z set q = 0
+            """,
+            schema,
+        )
+        analysis = analyzer.analyze()
+        assert analysis.requirement_holds
+        assert analysis.pairs_examined == 1
+        assert analysis.confluent(termination_guaranteed=True)
+        assert not analysis.confluent(termination_guaranteed=False)
+
+    def test_noncommuting_unordered_rules_rejected(self, schema):
+        *_, analyzer = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        analysis = analyzer.analyze()
+        assert not analysis.requirement_holds
+        violation = analysis.violations[0]
+        assert violation.is_direct
+        assert {violation.r1_member, violation.r2_member} == {"a", "b"}
+        assert violation.reasons
+
+    def test_ordering_the_pair_fixes_it(self, schema):
+        ruleset, definitions, commutativity, __ = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        ruleset.add_priority("a", "b")
+        analyzer = ConfluenceAnalyzer(
+            definitions, ruleset.priorities, commutativity
+        )
+        analysis = analyzer.analyze()
+        assert analysis.requirement_holds
+        assert analysis.pairs_examined == 0
+
+    def test_certification_fixes_it(self, schema):
+        __, __, commutativity, analyzer = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        commutativity.certify_commutes("a", "b")
+        assert analyzer.analyze().requirement_holds
+
+    def test_indirect_violation_through_interference_sets(self, schema):
+        # a and b commute directly, but a triggers helper (> b) and
+        # helper conflicts with b.
+        source = """
+        create rule a on t when inserted then insert into u values (1, 1)
+
+        create rule helper on u when inserted
+        then update z set q = 1
+        precedes b
+
+        create rule b on t when inserted then update z set q = 2
+        """
+        ruleset, definitions, commutativity, analyzer = setup(source, schema)
+        assert commutativity.commute("a", "b")  # the pair itself is fine
+        analysis = analyzer.analyze()
+        indirect = [v for v in analysis.violations if not v.is_direct]
+        assert any(
+            {v.r1_member, v.r2_member} == {"helper", "b"} for v in indirect
+        )
+
+    def test_universe_restriction(self, schema):
+        *_, analyzer = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update u set w = 1
+            create rule c on t when inserted then update z set q = 0
+            """,
+            schema,
+        )
+        analysis = analyzer.analyze(universe=frozenset({"a", "c"}))
+        assert analysis.requirement_holds
+        assert analysis.universe == frozenset({"a", "c"})
+
+
+class TestSuggestions:
+    def test_suggestions_offer_certify_and_order(self, schema):
+        *_, analyzer = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        suggestions = analyzer.analyze().suggestions()
+        kinds = {suggestion.kind for suggestion in suggestions}
+        assert kinds == {"certify", "order"}
+
+    def test_suggestions_deduplicated(self, schema):
+        *_, analyzer = setup(
+            """
+            create rule a on t when inserted then update u set w = 0, id = 1
+            create rule b on t when inserted then update u set w = 1, id = 2
+            """,
+            schema,
+        )
+        suggestions = analyzer.analyze().suggestions()
+        assert len(suggestions) == 2  # one certify + one order
+
+    def test_responsible_pairs(self, schema):
+        *_, analyzer = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update u set w = 1
+            create rule c on t when inserted then update u set w = 2
+            """,
+            schema,
+        )
+        pairs = analyzer.analyze().responsible_pairs()
+        assert ("a", "b") in pairs
+        assert ("a", "c") in pairs
+        assert ("b", "c") in pairs

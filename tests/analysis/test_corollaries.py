@@ -1,0 +1,161 @@
+"""Corollary checker tests — Corollaries 6.8, 6.9, 6.10, 8.2."""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.corollaries import (
+    check_corollary_6_8,
+    check_corollary_6_9,
+    check_corollary_6_10,
+    check_corollary_8_2,
+)
+from repro.analysis.derived import DerivedDefinitions
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"]})
+
+
+def setup(source, schema):
+    ruleset = RuleSet.parse(source, schema)
+    definitions = DerivedDefinitions(ruleset)
+    return ruleset, definitions, CommutativityAnalyzer(definitions)
+
+
+class TestCorollary68:
+    def test_unordered_noncommuting_pair_reported(self, schema):
+        ruleset, definitions, commutativity = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        violations = check_corollary_6_8(
+            definitions, ruleset.priorities, commutativity
+        )
+        assert len(violations) == 1
+        assert violations[0].corollary == "6.8"
+
+    def test_ordered_pair_not_reported(self, schema):
+        ruleset, definitions, commutativity = setup(
+            """
+            create rule a on t when inserted
+            then update u set w = 0
+            precedes b
+            create rule b on t when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        assert not check_corollary_6_8(
+            definitions, ruleset.priorities, commutativity
+        )
+
+
+class TestCorollary69:
+    def test_only_checked_when_p_is_empty(self, schema):
+        ruleset, definitions, commutativity = setup(
+            """
+            create rule a on t when inserted
+            then update u set w = 0
+            precedes b
+            create rule b on t when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        assert not check_corollary_6_9(
+            definitions, ruleset.priorities, commutativity
+        )
+
+    def test_empty_p_noncommuting_pair_reported(self, schema):
+        ruleset, definitions, commutativity = setup(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        violations = check_corollary_6_9(
+            definitions, ruleset.priorities, commutativity
+        )
+        assert violations and violations[0].corollary == "6.9"
+
+
+class TestCorollary610:
+    def test_unordered_triggering_pair_reported(self, schema):
+        ruleset, definitions, __ = setup(
+            """
+            create rule a on t when inserted then insert into u values (1, 1)
+            create rule b on u when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        violations = check_corollary_6_10(definitions, ruleset.priorities)
+        assert violations and violations[0].corollary == "6.10"
+
+    def test_ordered_triggering_pair_ok(self, schema):
+        ruleset, definitions, __ = setup(
+            """
+            create rule a on t when inserted
+            then insert into u values (1, 1)
+            precedes b
+            create rule b on u when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        assert not check_corollary_6_10(definitions, ruleset.priorities)
+
+
+class TestCorollary82:
+    def test_unordered_observables_reported(self, schema):
+        ruleset, definitions, __ = setup(
+            """
+            create rule wa on t when inserted then select * from t
+            create rule wb on t when inserted then select * from u
+            """,
+            schema,
+        )
+        violations = check_corollary_8_2(definitions, ruleset.priorities)
+        assert violations and violations[0].corollary == "8.2"
+
+    def test_ordered_observables_ok(self, schema):
+        ruleset, definitions, __ = setup(
+            """
+            create rule wa on t when inserted
+            then select * from t
+            precedes wb
+            create rule wb on t when inserted then select * from u
+            """,
+            schema,
+        )
+        assert not check_corollary_8_2(definitions, ruleset.priorities)
+
+
+class TestCorollariesHoldForAcceptedRuleSets:
+    """The key soundness property: anything our analysis accepts
+    satisfies the corollaries (they are consequences of acceptance)."""
+
+    ACCEPTED = """
+    create rule a on t when inserted
+    then insert into u values (1, 1)
+    precedes b
+
+    create rule b on u when inserted
+    then select * from u
+    precedes c
+
+    create rule c on t when inserted
+    then select * from t
+    """
+
+    def test_accepted_rule_set_has_no_corollary_violations(self, schema):
+        ruleset = RuleSet.parse(self.ACCEPTED, schema)
+        analyzer = RuleAnalyzer(ruleset)
+        report = analyzer.analyze()
+        assert report.confluent
+        assert report.observably_deterministic
+        assert analyzer.corollary_violations() == []

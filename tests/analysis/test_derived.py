@@ -1,0 +1,247 @@
+"""Tests for the Section 3 derived definitions."""
+
+import pytest
+
+from repro.analysis.derived import (
+    DerivedDefinitions,
+    ObsExtendedDefinitions,
+    OBS_TABLE,
+)
+from repro.rules.events import TriggerEvent
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec(
+        {
+            "emp": ["id", "dept", "salary"],
+            "dept": ["id", "budget"],
+            "audit": ["id", "event"],
+        }
+    )
+
+
+def defs_for(source, schema) -> DerivedDefinitions:
+    return DerivedDefinitions(RuleSet.parse(source, schema))
+
+
+class TestPerforms:
+    def test_insert_delete_update_events(self, schema):
+        defs = defs_for(
+            """
+            create rule r on emp when inserted
+            then insert into audit values (1, 1);
+                 delete from dept where budget < 0;
+                 update emp set salary = 0, dept = 0 where id = 1
+            """,
+            schema,
+        )
+        assert defs.performs("r") == frozenset(
+            {
+                TriggerEvent.insert("audit"),
+                TriggerEvent.delete("dept"),
+                TriggerEvent.update("emp", "salary"),
+                TriggerEvent.update("emp", "dept"),
+            }
+        )
+
+    def test_select_and_rollback_perform_nothing(self, schema):
+        defs = defs_for(
+            "create rule r on emp when inserted "
+            "then select * from emp; rollback",
+            schema,
+        )
+        assert defs.performs("r") == frozenset()
+
+
+class TestTriggers:
+    def test_triggers_via_event_intersection(self, schema):
+        defs = defs_for(
+            """
+            create rule producer on emp when inserted
+            then insert into audit values (1, 1)
+
+            create rule consumer on audit when inserted
+            then delete from dept where budget < 0
+            """,
+            schema,
+        )
+        assert defs.triggers("producer") == frozenset({"consumer"})
+        assert defs.triggers("consumer") == frozenset()
+
+    def test_self_trigger(self, schema):
+        defs = defs_for(
+            "create rule r on emp when updated(salary) "
+            "then update emp set salary = 0 where salary < 0",
+            schema,
+        )
+        assert "r" in defs.triggers("r")
+
+    def test_update_column_granularity(self, schema):
+        defs = defs_for(
+            """
+            create rule writer on emp when inserted
+            then update emp set dept = 0
+
+            create rule salary_watcher on emp when updated(salary)
+            then delete from audit
+
+            create rule dept_watcher on emp when updated(dept)
+            then delete from audit
+            """,
+            schema,
+        )
+        assert defs.triggers("writer") == frozenset({"dept_watcher"})
+
+
+class TestReads:
+    def test_condition_subquery_reads(self, schema):
+        defs = defs_for(
+            "create rule r on emp when inserted "
+            "if exists (select id from dept where budget > 0) "
+            "then delete from audit",
+            schema,
+        )
+        assert ("dept", "id") in defs.reads("r")
+        assert ("dept", "budget") in defs.reads("r")
+
+    def test_transition_table_reads_map_to_rule_table(self, schema):
+        defs = defs_for(
+            "create rule r on emp when inserted "
+            "then insert into audit (select id, salary from inserted)",
+            schema,
+        )
+        assert ("emp", "id") in defs.reads("r")
+        assert ("emp", "salary") in defs.reads("r")
+
+    def test_select_star_reads_all_columns(self, schema):
+        defs = defs_for(
+            "create rule r on emp when inserted "
+            "if exists (select * from dept) then delete from audit",
+            schema,
+        )
+        assert ("dept", "id") in defs.reads("r")
+        assert ("dept", "budget") in defs.reads("r")
+
+    def test_select_star_on_transition_table(self, schema):
+        defs = defs_for(
+            "create rule r on emp when updated(salary) "
+            "if exists (select * from new_updated) then delete from audit",
+            schema,
+        )
+        # star over new_updated = all columns of emp
+        assert ("emp", "dept") in defs.reads("r")
+
+    def test_update_where_and_assignment_reads(self, schema):
+        defs = defs_for(
+            "create rule r on emp when inserted "
+            "then update dept set budget = budget + 1 where id > 0",
+            schema,
+        )
+        assert ("dept", "budget") in defs.reads("r")
+        assert ("dept", "id") in defs.reads("r")
+
+    def test_delete_where_reads(self, schema):
+        defs = defs_for(
+            "create rule r on emp when inserted "
+            "then delete from dept where budget < 0",
+            schema,
+        )
+        assert defs.reads("r") == frozenset({("dept", "budget")})
+
+    def test_alias_resolution(self, schema):
+        defs = defs_for(
+            "create rule r on emp when inserted "
+            "if exists (select d.budget from dept d) then delete from audit",
+            schema,
+        )
+        assert ("dept", "budget") in defs.reads("r")
+
+    def test_correlated_subquery_reads_outer_table(self, schema):
+        defs = defs_for(
+            "create rule r on emp when inserted "
+            "then delete from dept where exists "
+            "(select * from emp where emp.dept = dept.id)",
+            schema,
+        )
+        assert ("emp", "dept") in defs.reads("r")
+        assert ("dept", "id") in defs.reads("r")
+
+    def test_insert_literal_values_read_nothing(self, schema):
+        defs = defs_for(
+            "create rule r on emp when inserted "
+            "then insert into audit values (1, 2)",
+            schema,
+        )
+        assert defs.reads("r") == frozenset()
+
+
+class TestCanUntrigger:
+    def test_deletion_untriggers_insert_triggered_rules(self, schema):
+        defs = defs_for(
+            """
+            create rule victim on emp when inserted
+            then delete from audit
+
+            create rule bystander on dept when inserted
+            then delete from audit
+            """,
+            schema,
+        )
+        operations = {TriggerEvent.delete("emp")}
+        assert defs.can_untrigger(operations) == frozenset({"victim"})
+
+    def test_deletion_untriggers_update_triggered_rules(self, schema):
+        defs = defs_for(
+            "create rule watcher on emp when updated(salary) "
+            "then delete from audit",
+            schema,
+        )
+        assert defs.can_untrigger({TriggerEvent.delete("emp")}) == frozenset(
+            {"watcher"}
+        )
+
+    def test_delete_triggered_rules_cannot_be_untriggered(self, schema):
+        defs = defs_for(
+            "create rule watcher on emp when deleted then delete from audit",
+            schema,
+        )
+        assert defs.can_untrigger({TriggerEvent.delete("emp")}) == frozenset()
+
+    def test_no_deletions_means_no_untriggering(self, schema):
+        defs = defs_for(
+            "create rule watcher on emp when inserted then delete from audit",
+            schema,
+        )
+        operations = {TriggerEvent.insert("emp"), TriggerEvent.update("emp", "id")}
+        assert defs.can_untrigger(operations) == frozenset()
+
+
+class TestObsExtension:
+    def test_observable_rules_gain_obs_events(self, schema):
+        defs = ObsExtendedDefinitions(
+            RuleSet.parse(
+                """
+                create rule watcher on emp when inserted
+                then select * from emp
+
+                create rule silent on emp when inserted
+                then delete from audit
+                """,
+                schema,
+            )
+        )
+        assert TriggerEvent.insert(OBS_TABLE) in defs.performs("watcher")
+        assert (OBS_TABLE, "c") in defs.reads("watcher")
+        assert TriggerEvent.insert(OBS_TABLE) not in defs.performs("silent")
+
+    def test_obs_does_not_change_triggering(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule watcher on emp when inserted then select * from emp",
+            schema,
+        )
+        base = DerivedDefinitions(ruleset)
+        extended = ObsExtendedDefinitions(ruleset)
+        assert base.triggers("watcher") == extended.triggers("watcher")

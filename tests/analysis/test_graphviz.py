@@ -1,0 +1,102 @@
+"""DOT export tests."""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.graphviz import execution_graph_dot, triggering_graph_dot
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.runtime.exec_graph import explore_ruleset
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id"], "u": ["id"]})
+
+
+class TestTriggeringGraphDot:
+    def test_edges_rendered(self, schema):
+        ruleset = RuleSet.parse(
+            """
+            create rule a on t when inserted then insert into u values (1)
+            create rule b on u when inserted then delete from u where id = 9
+            """,
+            schema,
+        )
+        analyzer = RuleAnalyzer(ruleset)
+        dot = triggering_graph_dot(analyzer.termination_analyzer.graph)
+        assert dot.startswith("digraph triggering_graph {")
+        assert '"a" -> "b";' in dot
+        assert dot.endswith("}\n")
+
+    def test_cyclic_rules_highlighted(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule loop on t when inserted, deleted "
+            "then delete from t where id = 1",
+            schema,
+        )
+        analyzer = RuleAnalyzer(ruleset)
+        dot = triggering_graph_dot(analyzer.termination_analyzer.graph)
+        assert "lightcoral" in dot
+
+    def test_certified_rules_green(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule loop on t when inserted, deleted "
+            "then delete from t where id = 1",
+            schema,
+        )
+        analyzer = RuleAnalyzer(ruleset)
+        dot = triggering_graph_dot(
+            analyzer.termination_analyzer.graph,
+            certified=frozenset({"loop"}),
+        )
+        assert "palegreen" in dot
+        assert "lightcoral" not in dot
+
+    def test_priority_edges_dashed(self, schema):
+        ruleset = RuleSet.parse(
+            """
+            create rule a on t when inserted
+            then delete from u
+            precedes b
+            create rule b on t when inserted then delete from u
+            """,
+            schema,
+        )
+        analyzer = RuleAnalyzer(ruleset)
+        dot = triggering_graph_dot(
+            analyzer.termination_analyzer.graph,
+            priorities=ruleset.priorities,
+        )
+        assert "style=dashed" in dot
+        assert 'label="precedes"' in dot
+
+
+class TestExecutionGraphDot:
+    def test_states_and_edges(self, schema):
+        ruleset = RuleSet.parse(
+            """
+            create rule a on t when inserted then update u set id = 1
+            create rule b on t when inserted then update u set id = 2
+            """,
+            schema,
+        )
+        database = Database(schema)
+        database.load("u", [(0,)])
+        graph = explore_ruleset(
+            ruleset, database, ["insert into t values (1)"]
+        )
+        dot = execution_graph_dot(graph)
+        assert dot.startswith("digraph execution_graph {")
+        assert "doublecircle" in dot  # final states
+        assert 'label="a"' in dot and 'label="b"' in dot
+        assert "penwidth=2" in dot  # initial state
+
+    def test_empty_graph(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule a on t when deleted then delete from u", schema
+        )
+        graph = explore_ruleset(ruleset, Database(schema), [])
+        dot = execution_graph_dot(graph)
+        assert "doublecircle" in dot  # the initial state is final

@@ -1,0 +1,174 @@
+"""Observable determinism tests — Section 8, Theorem 8.1."""
+
+import pytest
+
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.observable import ObservableDeterminismAnalyzer
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"]})
+
+
+def analyze(source, schema, certifications=(), base_certifications=()):
+    ruleset = RuleSet.parse(source, schema)
+    base = None
+    if base_certifications:
+        base = CommutativityAnalyzer(DerivedDefinitions(ruleset))
+        for pair in base_certifications:
+            base.certify_commutes(*pair)
+    analyzer = ObservableDeterminismAnalyzer(
+        ruleset, base_commutativity=base
+    )
+    return analyzer.analyze()
+
+
+class TestBasicVerdicts:
+    def test_no_observable_rules_is_trivially_deterministic(self, schema):
+        analysis = analyze(
+            """
+            create rule a on t when inserted then update u set w = 0
+            create rule b on t when inserted then update u set w = 1
+            """,
+            schema,
+        )
+        assert analysis.observable_rules == frozenset()
+        assert analysis.significant == frozenset()
+        assert analysis.observably_deterministic
+
+    def test_single_observable_rule_is_deterministic(self, schema):
+        analysis = analyze(
+            "create rule watch on t when inserted then select * from t",
+            schema,
+        )
+        assert analysis.observable_rules == frozenset({"watch"})
+        assert analysis.observably_deterministic
+
+    def test_two_unordered_observable_rules_rejected(self, schema):
+        analysis = analyze(
+            """
+            create rule watch_a on t when inserted then select * from t
+            create rule watch_b on t when inserted then select * from u
+            """,
+            schema,
+        )
+        assert not analysis.observably_deterministic
+        assert analysis.significant >= {"watch_a", "watch_b"}
+        assert analysis.confluence.violations
+
+    def test_ordered_observable_rules_accepted(self, schema):
+        analysis = analyze(
+            """
+            create rule watch_a on t when inserted
+            then select * from t
+            precedes watch_b
+
+            create rule watch_b on t when inserted then select * from u
+            """,
+            schema,
+        )
+        assert analysis.observably_deterministic
+
+    def test_rollback_counts_as_observable(self, schema):
+        analysis = analyze(
+            """
+            create rule guard on t when inserted then rollback
+            create rule watch on t when inserted then select * from t
+            """,
+            schema,
+        )
+        assert analysis.observable_rules == frozenset({"guard", "watch"})
+        assert not analysis.observably_deterministic
+
+
+class TestSigObsClosure:
+    def test_rule_affecting_what_observable_reads_joins_sig(self, schema):
+        # writer changes t.v which watch reads: they don't commute, so
+        # writer joins Sig(Obs); writer and watch are unordered -> reject.
+        analysis = analyze(
+            """
+            create rule writer on t when inserted then update t set v = 0
+            create rule watch on t when inserted then select v from t
+            """,
+            schema,
+        )
+        assert "writer" in analysis.significant
+        assert not analysis.observably_deterministic
+
+    def test_ordering_writer_and_watcher_fixes_it(self, schema):
+        analysis = analyze(
+            """
+            create rule writer on t when inserted
+            then update t set v = 0
+            precedes watch
+
+            create rule watch on t when inserted then select v from t
+            """,
+            schema,
+        )
+        assert analysis.observably_deterministic
+
+    def test_disjoint_rule_stays_out_of_sig(self, schema):
+        analysis = analyze(
+            """
+            create rule unrelated on u when inserted then update u set w = 1
+            create rule watch on t when inserted then select v from t
+            """,
+            schema,
+        )
+        assert "unrelated" not in analysis.significant
+        assert analysis.observably_deterministic
+
+
+class TestTermination(object):
+    def test_full_set_termination_required(self, schema):
+        # The loop is unrelated to observables, but Theorem 8.1 demands
+        # termination of all of R.
+        analysis = analyze(
+            """
+            create rule loop on u when inserted, updated(w)
+            then update u set w = w + 1
+
+            create rule watch on t when inserted then select v from t
+            """,
+            schema,
+        )
+        assert not analysis.observably_deterministic
+        assert not analysis.termination.guaranteed
+
+
+class TestCertificationCarryOver:
+    SOURCE = """
+    create rule writer on t when inserted then update t set v = 0
+    create rule watch on t when inserted then select v from t
+    """
+
+    def test_base_certification_applies_to_non_observable_pairs(self, schema):
+        analysis = analyze(
+            self.SOURCE,
+            schema,
+            base_certifications=[("writer", "watch")],
+        )
+        # The user claims writer/watch commute on the real tables; with
+        # only one observable rule that suffices.
+        assert analysis.observably_deterministic
+
+    def test_obs_conflict_between_observables_cannot_be_certified_away(
+        self, schema
+    ):
+        source = """
+        create rule watch_a on t when inserted then select * from t
+        create rule watch_b on t when inserted then select * from u
+        """
+        analysis = analyze(
+            source,
+            schema,
+            base_certifications=[("watch_a", "watch_b")],
+        )
+        # Even with a base certification, two unordered observable rules
+        # stay noncommutative through Obs (Corollary 8.2).
+        assert not analysis.observably_deterministic

@@ -1,0 +1,169 @@
+"""Partial confluence tests — Definition 7.1 and Theorem 7.2."""
+
+import pytest
+
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.partial_confluence import (
+    PartialConfluenceAnalyzer,
+    significant_rules,
+)
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec(
+        {
+            "data": ["id", "v"],
+            "scratch": ["id", "v"],
+            "src": ["id", "v"],
+        }
+    )
+
+
+def setup(source, schema):
+    ruleset = RuleSet.parse(source, schema)
+    definitions = DerivedDefinitions(ruleset)
+    commutativity = CommutativityAnalyzer(definitions)
+    analyzer = PartialConfluenceAnalyzer(
+        definitions, ruleset.priorities, commutativity
+    )
+    return ruleset, definitions, commutativity, analyzer
+
+
+SCRATCHY = """
+create rule keep_total on src when inserted
+then update data set v = v + 1
+
+create rule scribble_a on src when inserted
+then update scratch set v = 1
+
+create rule scribble_b on src when inserted
+then update scratch set v = 2
+"""
+
+
+class TestSignificantRules:
+    def test_seed_is_rules_writing_the_tables(self, schema):
+        __, definitions, commutativity, __ = setup(SCRATCHY, schema)
+        sig = significant_rules(definitions, commutativity, ["data"])
+        assert sig == frozenset({"keep_total"})
+
+    def test_closure_under_noncommutativity(self, schema):
+        source = SCRATCHY + """
+create rule conflicting on src when inserted
+then update data set v = 0
+"""
+        __, definitions, commutativity, __ = setup(source, schema)
+        sig = significant_rules(definitions, commutativity, ["data"])
+        # conflicting writes data (seed); keep_total writes data (seed);
+        # they don't commute with each other but that's within Sig already.
+        assert sig == frozenset({"keep_total", "conflicting"})
+
+    def test_noncommuting_outsider_pulled_in(self, schema):
+        source = """
+        create rule writes_data on src when inserted
+        then update data set v = v + 1
+
+        create rule reads_data on src when inserted
+        then update scratch set v = (select max(v) from data)
+        """
+        __, definitions, commutativity, __ = setup(source, schema)
+        sig = significant_rules(definitions, commutativity, ["data"])
+        # reads_data reads what writes_data writes -> noncommutative ->
+        # joins Sig even though it only writes scratch.
+        assert sig == frozenset({"writes_data", "reads_data"})
+
+    def test_certification_shrinks_sig(self, schema):
+        source = """
+        create rule writes_data on src when inserted
+        then update data set v = v + 1
+
+        create rule reads_data on src when inserted
+        then update scratch set v = (select max(v) from data)
+        """
+        __, definitions, commutativity, __ = setup(source, schema)
+        commutativity.certify_commutes("writes_data", "reads_data")
+        sig = significant_rules(definitions, commutativity, ["data"])
+        assert sig == frozenset({"writes_data"})
+
+    def test_empty_tables_empty_sig(self, schema):
+        __, definitions, commutativity, __ = setup(SCRATCHY, schema)
+        assert significant_rules(definitions, commutativity, []) == frozenset()
+
+
+class TestTheorem72:
+    def test_scratch_divergence_does_not_block_data_confluence(self, schema):
+        *_, analyzer = setup(SCRATCHY, schema)
+        analysis = analyzer.analyze(["data"])
+        assert analysis.confluent_with_respect_to_tables
+        assert analysis.significant == frozenset({"keep_total"})
+
+    def test_full_confluence_fails_on_same_rule_set(self, schema):
+        from repro.analysis.confluence import ConfluenceAnalyzer
+
+        ruleset, definitions, commutativity, __ = setup(SCRATCHY, schema)
+        full = ConfluenceAnalyzer(
+            definitions, ruleset.priorities, commutativity
+        ).analyze()
+        assert not full.requirement_holds
+
+    def test_partial_confluence_fails_on_significant_conflict(self, schema):
+        *_, analyzer = setup(SCRATCHY, schema)
+        analysis = analyzer.analyze(["scratch"])
+        assert not analysis.confluent_with_respect_to_tables
+        assert not analysis.confluence.requirement_holds
+
+    def test_sig_termination_is_required(self, schema):
+        source = """
+        create rule looping on data when inserted, updated(v)
+        then update data set v = v + 1
+        """
+        *_, analyzer = setup(source, schema)
+        analysis = analyzer.analyze(["data"])
+        assert not analysis.termination.guaranteed
+        assert not analysis.confluent_with_respect_to_tables
+
+    def test_certified_termination_carries_over(self, schema):
+        from repro.analysis.termination import TerminationAnalyzer
+
+        source = """
+        create rule looping on data when inserted, updated(v)
+        then update data set v = v + 1
+        """
+        ruleset = RuleSet.parse(source, schema)
+        definitions = DerivedDefinitions(ruleset)
+        termination = TerminationAnalyzer(definitions)
+        termination.certify_rule("looping")
+        analyzer = PartialConfluenceAnalyzer(
+            definitions,
+            ruleset.priorities,
+            termination_analyzer=termination,
+        )
+        analysis = analyzer.analyze(["data"])
+        assert analysis.termination.guaranteed
+        assert analysis.confluent_with_respect_to_tables
+
+    def test_cycle_outside_sig_does_not_matter(self, schema):
+        # A nonterminating loop on scratch must not block confluence
+        # w.r.t. data (footnote 7: only Sig must terminate on its own).
+        source = """
+        create rule keep_total on src when inserted
+        then update data set v = v + 1
+
+        create rule loop_scratch on scratch when inserted, updated(v)
+        then update scratch set v = v + 1
+        """
+        *_, analyzer = setup(source, schema)
+        analysis = analyzer.analyze(["data"])
+        assert analysis.significant == frozenset({"keep_total"})
+        assert analysis.confluent_with_respect_to_tables
+
+    def test_describe(self, schema):
+        *_, analyzer = setup(SCRATCHY, schema)
+        good = analyzer.analyze(["data"]).describe()
+        assert "confluent with respect to" in good
+        bad = analyzer.analyze(["scratch"]).describe()
+        assert "may not" in bad

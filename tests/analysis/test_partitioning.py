@@ -1,0 +1,91 @@
+"""Rule-set partitioning tests (Section 9 future work, implemented)."""
+
+import pytest
+
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.partitioning import partition_rules
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec(
+        {"t": ["id"], "u": ["id"], "x": ["id"], "y": ["id"]}
+    )
+
+
+def partitions_for(source, schema):
+    ruleset = RuleSet.parse(source, schema)
+    return partition_rules(DerivedDefinitions(ruleset), ruleset.priorities)
+
+
+class TestPartitioning:
+    def test_disjoint_rules_split(self, schema):
+        parts = partitions_for(
+            """
+            create rule a on t when inserted then delete from u
+            create rule b on x when inserted then delete from y
+            """,
+            schema,
+        )
+        assert parts == [frozenset({"a"}), frozenset({"b"})]
+
+    def test_shared_table_merges(self, schema):
+        parts = partitions_for(
+            """
+            create rule a on t when inserted then delete from u
+            create rule b on u when inserted then delete from x
+            """,
+            schema,
+        )
+        assert parts == [frozenset({"a", "b"})]
+
+    def test_shared_read_merges(self, schema):
+        parts = partitions_for(
+            """
+            create rule a on t when inserted then delete from u where id = 1
+            create rule b on x when inserted
+            then delete from y where id in (select id from u)
+            """,
+            schema,
+        )
+        assert parts == [frozenset({"a", "b"})]
+
+    def test_priority_merges_table_disjoint_rules(self, schema):
+        parts = partitions_for(
+            """
+            create rule a on t when inserted
+            then delete from t where id = 0
+            precedes b
+            create rule b on x when inserted then delete from x where id = 0
+            """,
+            schema,
+        )
+        assert parts == [frozenset({"a", "b"})]
+
+    def test_transitive_merging(self, schema):
+        parts = partitions_for(
+            """
+            create rule a on t when inserted then delete from u
+            create rule b on u when inserted then delete from x
+            create rule c on x when inserted then delete from y
+            """,
+            schema,
+        )
+        assert parts == [frozenset({"a", "b", "c"})]
+
+    def test_partitions_cover_all_rules(self, schema):
+        parts = partitions_for(
+            """
+            create rule a on t when inserted then delete from t where id = 9
+            create rule b on x when inserted then delete from x where id = 9
+            create rule c on y when inserted then delete from y where id = 9
+            """,
+            schema,
+        )
+        covered = set()
+        for part in parts:
+            covered |= part
+        assert covered == {"a", "b", "c"}
+        assert len(parts) == 3

@@ -1,0 +1,113 @@
+"""Markdown report generator tests."""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.report import render_markdown
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"]})
+
+
+CONFLICTED = """
+create rule a on t when inserted then update u set w = 0
+create rule b on t when inserted then update u set w = 1
+create rule watch on t when inserted then select * from u
+"""
+
+CLEAN = """
+create rule a on t when inserted
+then update u set w = 0
+precedes b
+create rule b on t when inserted then update u set w = 1
+"""
+
+
+class TestRenderMarkdown:
+    def test_contains_all_sections(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTED, schema))
+        text = render_markdown(analyzer)
+        for heading in (
+            "# Rule analysis report",
+            "## Verdicts",
+            "## Rules",
+            "## Triggering graph",
+            "## Confluence",
+            "## Observable determinism",
+        ):
+            assert heading in text
+
+    def test_verdict_table_reflects_analysis(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTED, schema))
+        text = render_markdown(analyzer)
+        assert "| confluence | *may not hold* |" in text
+        clean = RuleAnalyzer(RuleSet.parse(CLEAN, schema))
+        text = render_markdown(clean)
+        assert "| confluence | **guaranteed** |" in text
+
+    def test_violations_and_suggestions_listed(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTED, schema))
+        text = render_markdown(analyzer)
+        assert "noncommuting witness" in text
+        assert "Suggested repairs:" in text
+        assert "certify that rules" in text
+
+    def test_rule_inventory_has_derived_sets(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTED, schema))
+        text = render_markdown(analyzer)
+        assert "(I, t)" in text
+        assert "(U, u.w)" in text
+
+    def test_priorities_listed(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CLEAN, schema))
+        text = render_markdown(analyzer)
+        assert "`a` > `b`" in text
+
+    def test_observable_section(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTED, schema))
+        text = render_markdown(analyzer)
+        assert "`watch`" in text
+        assert "Sig(Obs)" in text
+
+    def test_partial_section(self, schema):
+        analyzer = RuleAnalyzer(RuleSet.parse(CONFLICTED, schema))
+        text = render_markdown(analyzer, partial_tables=[["t"]])
+        assert "Partial confluence w.r.t. {t}" in text
+
+    def test_cycles_rendered_with_certifications(self, schema):
+        source = (
+            "create rule loop on t when inserted, updated(v) "
+            "then update t set v = 0 where v < 0"
+        )
+        analyzer = RuleAnalyzer(RuleSet.parse(source, schema))
+        analyzer.certify_termination("loop")
+        text = render_markdown(analyzer)
+        assert "Cyclic rule groups:" in text
+        assert "certified by user" in text
+
+
+class TestCliReportFlag:
+    def test_report_written(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema_file = tmp_path / "s.txt"
+        schema_file.write_text("t: id, v\nu: id, w\n")
+        rules_file = tmp_path / "r.txt"
+        rules_file.write_text(CONFLICTED)
+        out_file = tmp_path / "report.md"
+        main(
+            [
+                str(rules_file),
+                "--schema",
+                str(schema_file),
+                "--report",
+                str(out_file),
+            ]
+        )
+        assert "markdown report written" in capsys.readouterr().out
+        content = out_file.read_text()
+        assert "# Rule analysis report" in content

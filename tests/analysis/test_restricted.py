@@ -1,0 +1,129 @@
+"""Restricted user operations tests (Section 9 future work, implemented)."""
+
+import pytest
+
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.restricted import (
+    initially_triggerable_rules,
+    reachable_rules,
+)
+from repro.analysis.termination import TerminationAnalyzer
+from repro.rules.events import TriggerEvent
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"a": ["x"], "b": ["x"], "c": ["x"]})
+
+
+SOURCE = """
+create rule on_a on a when inserted then insert into b values (1)
+create rule on_b on b when inserted then insert into c values (1)
+create rule on_c_ins on c when inserted then delete from c where x = 9
+create rule on_c_del on c when deleted then insert into c values (2)
+"""
+
+
+@pytest.fixture
+def definitions(schema):
+    return DerivedDefinitions(RuleSet.parse(SOURCE, schema))
+
+
+class TestInitiallyTriggerable:
+    def test_matching_operations(self, definitions):
+        rules = initially_triggerable_rules(
+            definitions, [TriggerEvent.insert("a")]
+        )
+        assert rules == frozenset({"on_a"})
+
+    def test_no_operations_no_rules(self, definitions):
+        assert initially_triggerable_rules(definitions, []) == frozenset()
+
+    def test_multiple_operations(self, definitions):
+        rules = initially_triggerable_rules(
+            definitions,
+            [TriggerEvent.insert("a"), TriggerEvent.delete("c")],
+        )
+        assert rules == frozenset({"on_a", "on_c_del"})
+
+
+class TestReachability:
+    def test_closure_through_triggering_chain(self, definitions):
+        rules = reachable_rules(definitions, [TriggerEvent.insert("a")])
+        # on_a -> on_b -> on_c_ins -> on_c_del -> on_c_ins (cycle)
+        assert rules == frozenset({"on_a", "on_b", "on_c_ins", "on_c_del"})
+
+    def test_restriction_prunes_unreachable_rules(self, definitions):
+        rules = reachable_rules(definitions, [TriggerEvent.insert("b")])
+        assert "on_a" not in rules
+
+    def test_restricted_termination_analysis(self, schema):
+        # The c-cycle exists, but users only ever touch table a in a
+        # rule set where a's chain never reaches c.
+        source = """
+        create rule safe on a when inserted then insert into b values (1)
+        create rule loop_1 on c when inserted then delete from c where x = 1
+        create rule loop_2 on c when deleted then insert into c values (1)
+        """
+        definitions = DerivedDefinitions(RuleSet.parse(source, schema))
+        full = TerminationAnalyzer(definitions).analyze()
+        assert not full.guaranteed
+
+        reachable = reachable_rules(definitions, [TriggerEvent.insert("a")])
+        assert reachable == frozenset({"safe"})
+        # Termination restricted to the reachable subset: acyclic.
+        restricted = TerminationAnalyzer(
+            DerivedDefinitions(
+                definitions.ruleset.subset(reachable)
+            )
+        ).analyze()
+        assert restricted.guaranteed
+
+
+class TestAnalyzerFacade:
+    def test_analyze_restricted_prunes_unreachable_cycles(self, schema):
+        from repro.analysis.analyzer import RuleAnalyzer
+        from repro.rules.ruleset import RuleSet
+
+        source = """
+        create rule safe on a when inserted then insert into b values (1)
+        create rule loop_1 on c when inserted then delete from c where x = 1
+        create rule loop_2 on c when deleted then insert into c values (1)
+        """
+        analyzer = RuleAnalyzer(RuleSet.parse(source, schema))
+        assert not analyzer.analyze().terminates
+        restricted = analyzer.analyze_restricted([TriggerEvent.insert("a")])
+        assert restricted.terminates
+        assert restricted.confluent
+
+    def test_certifications_carry_over(self, schema):
+        from repro.analysis.analyzer import RuleAnalyzer
+        from repro.rules.ruleset import RuleSet
+
+        source = """
+        create rule climb on a when inserted, updated(x)
+        then update a set x = 0 where x < 0
+
+        create rule other on b when inserted then delete from c where x = 9
+        """
+        analyzer = RuleAnalyzer(RuleSet.parse(source, schema))
+        analyzer.certify_termination("climb")
+        restricted = analyzer.analyze_restricted(
+            [TriggerEvent.insert("a"), TriggerEvent.insert("b")]
+        )
+        assert restricted.terminates
+
+    def test_empty_operations_trivially_green(self, schema):
+        from repro.analysis.analyzer import RuleAnalyzer
+        from repro.rules.ruleset import RuleSet
+
+        source = """
+        create rule loop on c when inserted, deleted
+        then delete from c where x = 1
+        """
+        analyzer = RuleAnalyzer(RuleSet.parse(source, schema))
+        restricted = analyzer.analyze_restricted([])
+        assert restricted.terminates
+        assert restricted.confluent

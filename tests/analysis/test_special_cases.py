@@ -1,0 +1,203 @@
+"""Tests for the Section 5 automatic special cases and the granularity
+ablation knob."""
+
+import pytest
+
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.termination import TerminationAnalyzer
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+from repro.validate.oracle import oracle_verdict
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"]})
+
+
+def termination_analyzer(source, schema) -> TerminationAnalyzer:
+    return TerminationAnalyzer(DerivedDefinitions(RuleSet.parse(source, schema)))
+
+
+class TestMonotonicHeuristic:
+    def test_bounded_increment_detected(self, schema):
+        analyzer = termination_analyzer(
+            "create rule climb on t when inserted, updated(v) "
+            "then update t set v = v + 1 where v < 5",
+            schema,
+        )
+        analysis = analyzer.analyze()
+        component = analysis.cyclic_components[0]
+        assert analysis.auto_certifiable[component] == frozenset({"climb"})
+
+    def test_bounded_decrement_detected(self, schema):
+        analyzer = termination_analyzer(
+            "create rule shed on t when updated(v) "
+            "then update t set v = v - 2 where v > 10",
+            schema,
+        )
+        analysis = analyzer.analyze()
+        component = analysis.cyclic_components[0]
+        assert "shed" in analysis.auto_certifiable[component]
+
+    def test_reversed_bound_operand_order(self, schema):
+        analyzer = termination_analyzer(
+            "create rule climb on t when updated(v) "
+            "then update t set v = v + 1 where 5 > v",
+            schema,
+        )
+        analysis = analyzer.analyze()
+        component = analysis.cyclic_components[0]
+        assert "climb" in analysis.auto_certifiable[component]
+
+    def test_unbounded_increment_not_certified(self, schema):
+        analyzer = termination_analyzer(
+            "create rule climb on t when inserted, updated(v) "
+            "then update t set v = v + 1",
+            schema,
+        )
+        analysis = analyzer.analyze()
+        component = analysis.cyclic_components[0]
+        assert analysis.auto_certifiable[component] == frozenset()
+
+    def test_bound_in_wrong_direction_not_certified(self, schema):
+        # v keeps growing and stays > 0: never reaches the bound.
+        analyzer = termination_analyzer(
+            "create rule climb on t when updated(v) "
+            "then update t set v = v + 1 where v > 0",
+            schema,
+        )
+        analysis = analyzer.analyze()
+        component = analysis.cyclic_components[0]
+        assert analysis.auto_certifiable[component] == frozenset()
+
+    def test_counter_writer_in_component_blocks_certification(self, schema):
+        # fall resets what climb achieves: neither is safe alone.
+        analyzer = termination_analyzer(
+            """
+            create rule climb on t when updated(v)
+            then update t set v = v + 1 where v < 5
+
+            create rule fall on t when updated(v)
+            then update t set v = v - 1 where v > 0
+            """,
+            schema,
+        )
+        analysis = analyzer.analyze()
+        component = analysis.cyclic_components[0]
+        assert analysis.auto_certifiable[component] == frozenset()
+
+    def test_monotone_rule_in_mixed_component_certified_when_isolated(
+        self, schema
+    ):
+        # relay touches a different table/column, so climb's progress
+        # measure is untouched.
+        analyzer = termination_analyzer(
+            """
+            create rule climb on t when updated(v), inserted
+            then update t set v = v + 1 where v < 3;
+                 update u set w = w + 1 where w < 9
+
+            create rule relay on u when updated(w)
+            then update t set id = 0 where id < 0
+            """,
+            schema,
+        )
+        analysis = analyzer.analyze()
+        # climb self-loops via updated(v).
+        component = next(
+            c for c in analysis.cyclic_components if "climb" in c
+        )
+        assert "climb" in analysis.auto_certifiable[component]
+
+    def test_heuristic_is_sound_at_runtime(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule climb on t when inserted, updated(v) "
+            "then update t set v = v + 1 where v < 5",
+            schema,
+        )
+        verdict = oracle_verdict(
+            ruleset, Database(schema), ["insert into t values (1, 0)"]
+        )
+        assert verdict.terminates
+
+    def test_apply_auto_certifications(self, schema):
+        analyzer = termination_analyzer(
+            "create rule climb on t when updated(v) "
+            "then update t set v = v + 1 where v < 5",
+            schema,
+        )
+        applied = analyzer.apply_auto_certifications()
+        assert applied == frozenset({"climb"})
+        assert analyzer.analyze().guaranteed
+
+
+class TestGranularityAblation:
+    SOURCE = """
+    create rule a on t when inserted then update u set id = 1
+    create rule b on t when inserted then update u set w = 2
+    """
+
+    def test_column_granularity_accepts_disjoint_updates(self, schema):
+        ruleset = RuleSet.parse(self.SOURCE, schema)
+        column = CommutativityAnalyzer(DerivedDefinitions(ruleset))
+        assert column.commute("a", "b")
+
+    def test_table_granularity_rejects_them(self, schema):
+        ruleset = RuleSet.parse(self.SOURCE, schema)
+        table = CommutativityAnalyzer(
+            DerivedDefinitions(ruleset), granularity="table"
+        )
+        assert not table.commute("a", "b")
+        conditions = {
+            reason.condition
+            for reason in table.noncommutativity_reasons("a", "b")
+        }
+        assert 5 in conditions
+
+    def test_table_granularity_widens_condition_3(self):
+        schema = schema_from_spec(
+            {"t": ["id"], "u": ["id", "w"], "z": ["q"]}
+        )
+        source = """
+        create rule a on t when inserted then update u set id = 1
+        create rule b on t when inserted
+        then update z set q = (select max(w) from u)
+        """
+        ruleset = RuleSet.parse(source, schema)
+        column = CommutativityAnalyzer(DerivedDefinitions(ruleset))
+        table = CommutativityAnalyzer(
+            DerivedDefinitions(ruleset), granularity="table"
+        )
+        # a updates u.id; b reads only u.w.
+        assert column.commute("a", "b")
+        assert not table.commute("a", "b")
+
+    def test_table_mode_is_strictly_more_conservative(self, schema):
+        """Any pair the table mode accepts, the column mode accepts."""
+        from repro.workloads.generator import (
+            GeneratorConfig,
+            LayeredRuleSetGenerator,
+        )
+
+        for seed in range(10):
+            ruleset = LayeredRuleSetGenerator(
+                GeneratorConfig(n_rules=5, n_tables=4), seed=seed
+            ).generate()
+            definitions = DerivedDefinitions(ruleset)
+            column = CommutativityAnalyzer(definitions)
+            table = CommutativityAnalyzer(definitions, granularity="table")
+            names = sorted(ruleset.names)
+            for i, first in enumerate(names):
+                for second in names[i + 1 :]:
+                    if table.commute(first, second):
+                        assert column.commute(first, second)
+
+    def test_bad_granularity_rejected(self, schema):
+        ruleset = RuleSet.parse(self.SOURCE, schema)
+        with pytest.raises(ValueError):
+            CommutativityAnalyzer(
+                DerivedDefinitions(ruleset), granularity="row"
+            )

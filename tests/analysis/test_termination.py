@@ -1,0 +1,170 @@
+"""Termination analysis tests — Section 5, Theorem 5.1."""
+
+import pytest
+
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.termination import TerminationAnalyzer, TriggeringGraph
+from repro.errors import AnalysisError
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"a": ["x"], "b": ["x"], "c": ["x"]})
+
+
+def analyzer_for(source, schema) -> TerminationAnalyzer:
+    return TerminationAnalyzer(DerivedDefinitions(RuleSet.parse(source, schema)))
+
+
+CHAIN = """
+create rule r1 on a when inserted then insert into b values (1)
+create rule r2 on b when inserted then insert into c values (1)
+create rule r3 on c when inserted then delete from a where x = 999
+"""
+
+CYCLE = """
+create rule r1 on a when inserted then insert into b values (1)
+create rule r2 on b when inserted then insert into a values (1)
+"""
+
+SELF_LOOP = """
+create rule r on a when updated(x) then update a set x = 0 where x < 0
+"""
+
+
+class TestTriggeringGraph:
+    def test_edges_follow_triggers(self, schema):
+        graph = TriggeringGraph(
+            DerivedDefinitions(RuleSet.parse(CHAIN, schema))
+        )
+        assert ("r1", "r2") in graph.edges()
+        assert ("r2", "r3") in graph.edges()
+        # r3 deletes from a; no rule is triggered by deletion from a.
+        assert ("r3", "r1") not in graph.edges()
+
+    def test_strong_components_of_acyclic_graph_are_singletons(self, schema):
+        graph = TriggeringGraph(
+            DerivedDefinitions(RuleSet.parse(CHAIN, schema))
+        )
+        assert all(len(c) == 1 for c in graph.strong_components())
+        assert graph.cyclic_components() == []
+
+    def test_cycle_found_as_component(self, schema):
+        graph = TriggeringGraph(
+            DerivedDefinitions(RuleSet.parse(CYCLE, schema))
+        )
+        assert graph.cyclic_components() == [frozenset({"r1", "r2"})]
+
+    def test_self_loop_is_cyclic_component(self, schema):
+        graph = TriggeringGraph(
+            DerivedDefinitions(RuleSet.parse(SELF_LOOP, schema))
+        )
+        assert graph.cyclic_components() == [frozenset({"r"})]
+
+    def test_elementary_cycles(self, schema):
+        graph = TriggeringGraph(
+            DerivedDefinitions(RuleSet.parse(CYCLE, schema))
+        )
+        assert graph.elementary_cycles() == [("r1", "r2")]
+
+    def test_elementary_cycles_self_loop(self, schema):
+        graph = TriggeringGraph(
+            DerivedDefinitions(RuleSet.parse(SELF_LOOP, schema))
+        )
+        assert graph.elementary_cycles() == [("r",)]
+
+
+class TestTheorem51:
+    def test_acyclic_guarantees_termination(self, schema):
+        analysis = analyzer_for(CHAIN, schema).analyze()
+        assert analysis.guaranteed
+        assert not analysis.may_not_terminate
+        assert analysis.responsible_rules() == frozenset()
+
+    def test_cycle_means_may_not_terminate(self, schema):
+        analysis = analyzer_for(CYCLE, schema).analyze()
+        assert not analysis.guaranteed
+        assert analysis.responsible_rules() == frozenset({"r1", "r2"})
+
+    def test_describe_mentions_cycles(self, schema):
+        analysis = analyzer_for(CYCLE, schema).analyze()
+        assert "may not terminate" in analysis.describe()
+        assert "r1" in analysis.describe()
+
+
+class TestCertification:
+    def test_certifying_a_cycle_rule_restores_guarantee(self, schema):
+        analyzer = analyzer_for(CYCLE, schema)
+        analyzer.certify_rule("r1")
+        analysis = analyzer.analyze()
+        assert analysis.guaranteed
+        assert analysis.cyclic_components  # original cycles still reported
+        assert analysis.certified_rules == frozenset({"r1"})
+
+    def test_certification_must_break_every_cycle(self, schema):
+        source = CYCLE + (
+            "\ncreate rule r4 on c when inserted "
+            "then insert into c values (1)"
+        )
+        analyzer = analyzer_for(source, schema)
+        analyzer.certify_rule("r1")
+        analysis = analyzer.analyze()
+        assert not analysis.guaranteed  # r4's self-loop remains
+        analyzer.certify_rule("r4")
+        assert analyzer.analyze().guaranteed
+
+    def test_certifying_unknown_rule_raises(self, schema):
+        with pytest.raises(AnalysisError):
+            analyzer_for(CYCLE, schema).certify_rule("ghost")
+
+    def test_revoke_certification(self, schema):
+        analyzer = analyzer_for(CYCLE, schema)
+        analyzer.certify_rule("r1")
+        assert analyzer.revoke_rule_certification("r1")
+        assert not analyzer.analyze().guaranteed
+        assert not analyzer.revoke_rule_certification("r1")
+
+
+class TestDeleteOnlyHeuristic:
+    def test_delete_only_rule_on_cycle_is_auto_certifiable(self, schema):
+        # r1 triggers r2 (insert into b); r2 deletes from a, triggering r1's
+        # 'deleted' variant — forming a cycle in which r2 only deletes and
+        # nobody inserts into a.
+        source = """
+        create rule r1 on a when inserted, deleted
+        then insert into b values (1)
+
+        create rule r2 on b when inserted
+        then delete from a where x = 1
+        """
+        analyzer = analyzer_for(source, schema)
+        analysis = analyzer.analyze()
+        assert not analysis.guaranteed
+        component = analysis.cyclic_components[0]
+        assert analysis.auto_certifiable[component] == frozenset({"r2"})
+
+    def test_not_certifiable_when_cycle_reinserts(self, schema):
+        source = """
+        create rule r1 on a when inserted, deleted
+        then insert into a values (1)
+
+        create rule r2 on a when inserted
+        then delete from a where x = 1
+        """
+        analyzer = analyzer_for(source, schema)
+        analysis = analyzer.analyze()
+        component = analysis.cyclic_components[0]
+        assert analysis.auto_certifiable[component] == frozenset()
+
+    def test_mixed_action_rule_not_certifiable(self, schema):
+        source = """
+        create rule r1 on a when inserted, deleted
+        then insert into b values (1); delete from a where x = 1
+        """
+        analyzer = analyzer_for(source, schema)
+        analysis = analyzer.analyze()
+        if analysis.cyclic_components:
+            for rules in analysis.auto_certifiable.values():
+                assert "r1" not in rules

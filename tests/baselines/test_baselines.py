@@ -1,0 +1,114 @@
+"""Baseline comparator tests, including the Section 9 subsumption chain."""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.baselines import HH91Checker, TotalOrderChecker, ZH90Checker
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+from repro.workloads.generator import GeneratorConfig, RandomRuleSetGenerator
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"], "z": ["id"]})
+
+
+DISJOINT = """
+create rule a on t when inserted then update u set w = 0
+create rule b on z when inserted then delete from z where id = 99
+"""
+
+COMMUTING_BUT_TABLE_SHARING = """
+create rule a on t when inserted then update u set id = 0
+create rule b on t when inserted then update u set w = 1
+"""
+
+ORDERED_CONFLICT = """
+create rule a on t when inserted
+then update u set w = 0
+precedes b
+create rule b on t when inserted then update u set w = 1
+"""
+
+
+class TestZH90:
+    def test_accepts_table_disjoint_rules(self, schema):
+        checker = ZH90Checker(RuleSet.parse(DISJOINT, schema))
+        assert checker.accepts()
+
+    def test_rejects_table_sharing_even_when_commuting(self, schema):
+        # Column-disjoint updates on the same table commute by Lemma 6.1
+        # but ZH90's table granularity rejects them.
+        checker = ZH90Checker(
+            RuleSet.parse(COMMUTING_BUT_TABLE_SHARING, schema)
+        )
+        assert not checker.accepts()
+        assert any("interfere" in reason for reason in checker.check().reasons)
+
+    def test_rejects_cyclic_triggering(self, schema):
+        source = """
+        create rule a on t when inserted then insert into u values (1, 1)
+        create rule b on u when inserted then insert into t values (1, 1)
+        """
+        assert not ZH90Checker(RuleSet.parse(source, schema)).accepts()
+
+
+class TestHH91:
+    def test_accepts_commuting_rules(self, schema):
+        assert HH91Checker(
+            RuleSet.parse(COMMUTING_BUT_TABLE_SHARING, schema)
+        ).accepts()
+
+    def test_rejects_noncommuting_pair_even_when_ordered(self, schema):
+        assert not HH91Checker(RuleSet.parse(ORDERED_CONFLICT, schema)).accepts()
+
+    def test_rejects_cycles(self, schema):
+        source = """
+        create rule a on t when inserted, updated(v)
+        then update t set v = 0 where v < 0
+        """
+        assert not HH91Checker(RuleSet.parse(source, schema)).accepts()
+
+
+class TestTotalOrder:
+    def test_accepts_totally_ordered(self, schema):
+        assert TotalOrderChecker(RuleSet.parse(ORDERED_CONFLICT, schema)).accepts()
+
+    def test_rejects_any_unordered_pair(self, schema):
+        assert not TotalOrderChecker(RuleSet.parse(DISJOINT, schema)).accepts()
+
+
+class TestSubsumptionChain:
+    """The Section 9 claims as executable properties over random rule
+    sets: ZH90-accepts ⇒ HH91-accepts ⇒ Definition 6.5 accepts, and the
+    inclusions are proper on our hand-built witnesses."""
+
+    def our_verdict(self, ruleset) -> bool:
+        report = RuleAnalyzer(ruleset).analyze()
+        return report.confluent
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_chain_on_random_rule_sets(self, seed):
+        generator = RandomRuleSetGenerator(
+            GeneratorConfig(n_rules=5, p_priority=0.3), seed=seed
+        )
+        ruleset = generator.generate()
+        zh90 = ZH90Checker(ruleset).accepts()
+        hh91 = HH91Checker(ruleset).accepts()
+        ours = self.our_verdict(ruleset)
+        if zh90:
+            assert hh91, f"seed {seed}: ZH90 accepted but HH91 rejected"
+        if hh91:
+            assert ours, f"seed {seed}: HH91 accepted but Definition 6.5 rejected"
+
+    def test_proper_inclusion_hh91_vs_ours(self, schema):
+        # Ordered conflict: ours accepts (no unordered pairs), HH91 rejects.
+        ruleset = RuleSet.parse(ORDERED_CONFLICT, schema)
+        assert self.our_verdict(ruleset)
+        assert not HH91Checker(ruleset).accepts()
+
+    def test_proper_inclusion_zh90_vs_hh91(self, schema):
+        ruleset = RuleSet.parse(COMMUTING_BUT_TABLE_SHARING, schema)
+        assert HH91Checker(ruleset).accepts()
+        assert not ZH90Checker(ruleset).accepts()

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import Schema, schema_from_spec
+
+
+@pytest.fixture
+def emp_schema() -> Schema:
+    """A small employee/department schema used across many tests."""
+    return schema_from_spec(
+        {
+            "emp": ["id", "dept", "salary"],
+            "dept": ["id", "budget"],
+            "audit": ["id", "event"],
+        }
+    )
+
+
+@pytest.fixture
+def emp_database(emp_schema) -> Database:
+    database = Database(emp_schema)
+    database.load("emp", [(1, 10, 100), (2, 10, 200), (3, 20, 300)])
+    database.load("dept", [(10, 1000), (20, 2000)])
+    return database
+
+
+@pytest.fixture
+def single_table_schema() -> Schema:
+    return schema_from_spec({"t": ["id", "v"]})
+
+
+def make_ruleset(source: str, schema: Schema) -> RuleSet:
+    """Convenience wrapper used by many test modules."""
+    return RuleSet.parse(source, schema)

@@ -1,0 +1,181 @@
+"""Expression evaluator tests: row contexts and AST evaluation."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.expressions import Evaluator, RowContext
+from repro.engine.query import DatabaseProvider
+from repro.errors import EvaluationError, QueryError
+from repro.lang.parser import parse_expression
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def provider():
+    schema = schema_from_spec({"emp": ["id", "dept", "salary"]})
+    database = Database(schema)
+    database.load("emp", [(1, 10, 100), (2, 20, 200)])
+    return DatabaseProvider(database)
+
+
+@pytest.fixture
+def evaluator(provider):
+    return Evaluator(provider)
+
+
+def bound_context():
+    context = RowContext()
+    context.bind("emp", ("id", "dept", "salary"), (1, 10, 100))
+    return context
+
+
+def evaluate(evaluator, source, context=None):
+    return evaluator.evaluate(parse_expression(source), context or bound_context())
+
+
+class TestRowContext:
+    def test_qualified_lookup(self):
+        context = bound_context()
+        assert context.lookup_qualified("emp", "salary") == 100
+
+    def test_unqualified_lookup(self):
+        context = bound_context()
+        assert context.lookup_unqualified("dept") == 10
+
+    def test_unknown_table(self):
+        with pytest.raises(EvaluationError, match="unknown table"):
+            bound_context().lookup_qualified("ghost", "x")
+
+    def test_unknown_column(self):
+        with pytest.raises(EvaluationError, match="no column"):
+            bound_context().lookup_qualified("emp", "ghost")
+        with pytest.raises(EvaluationError, match="unknown column"):
+            bound_context().lookup_unqualified("ghost")
+
+    def test_ambiguous_unqualified_column(self):
+        context = RowContext()
+        context.bind("a", ("x",), (1,))
+        context.bind("b", ("x",), (2,))
+        with pytest.raises(EvaluationError, match="ambiguous"):
+            context.lookup_unqualified("x")
+
+    def test_outer_context_chaining(self):
+        outer = RowContext()
+        outer.bind("outer_table", ("v",), (42,))
+        inner = RowContext(outer=outer)
+        inner.bind("inner_table", ("w",), (1,))
+        assert inner.lookup_qualified("outer_table", "v") == 42
+        assert inner.lookup_unqualified("v") == 42
+
+    def test_inner_shadows_outer(self):
+        outer = RowContext()
+        outer.bind("t", ("v",), (1,))
+        inner = RowContext(outer=outer)
+        inner.bind("u", ("v",), (2,))
+        assert inner.lookup_unqualified("v") == 2
+
+
+class TestEvaluation:
+    def test_literals(self, evaluator):
+        assert evaluate(evaluator, "42") == 42
+        assert evaluate(evaluator, "'x'") == "x"
+        assert evaluate(evaluator, "null") is None
+        assert evaluate(evaluator, "true") is True
+
+    def test_column_refs(self, evaluator):
+        assert evaluate(evaluator, "salary") == 100
+        assert evaluate(evaluator, "emp.salary") == 100
+
+    def test_arithmetic_and_comparison(self, evaluator):
+        assert evaluate(evaluator, "salary * 2 + 1") == 201
+        assert evaluate(evaluator, "salary > 50") is True
+
+    def test_boolean_connectives(self, evaluator):
+        assert evaluate(evaluator, "salary > 50 and dept = 10") is True
+        assert evaluate(evaluator, "salary > 500 or dept = 10") is True
+        assert evaluate(evaluator, "not salary > 50") is False
+
+    def test_kleene_shortcuts(self, evaluator):
+        # false and UNKNOWN -> false; true or UNKNOWN -> true
+        assert evaluate(evaluator, "1 = 2 and null = 1") is False
+        assert evaluate(evaluator, "1 = 1 or null = 1") is True
+        assert evaluate(evaluator, "1 = 1 and null = 1") is None
+
+    def test_is_null(self, evaluator):
+        assert evaluate(evaluator, "null is null") is True
+        assert evaluate(evaluator, "salary is null") is False
+        assert evaluate(evaluator, "salary is not null") is True
+
+    def test_between(self, evaluator):
+        assert evaluate(evaluator, "salary between 50 and 150") is True
+        assert evaluate(evaluator, "salary not between 50 and 150") is False
+        assert evaluate(evaluator, "null between 1 and 2") is None
+
+    def test_in_list(self, evaluator):
+        assert evaluate(evaluator, "dept in (10, 20)") is True
+        assert evaluate(evaluator, "dept in (30)") is False
+        assert evaluate(evaluator, "dept not in (30)") is True
+
+    def test_in_list_null_semantics(self, evaluator):
+        # 5 IN (1, NULL) is UNKNOWN, not FALSE
+        assert evaluate(evaluator, "5 in (1, null)") is None
+        assert evaluate(evaluator, "5 not in (1, null)") is None
+        assert evaluate(evaluator, "1 in (1, null)") is True
+        assert evaluate(evaluator, "null in (1)") is None
+
+    def test_exists_subquery(self, evaluator):
+        assert evaluate(evaluator, "exists (select * from emp)") is True
+        assert (
+            evaluate(evaluator, "exists (select * from emp where salary > 999)")
+            is False
+        )
+        assert (
+            evaluate(evaluator, "not exists (select * from emp where salary > 999)")
+            is True
+        )
+
+    def test_in_subquery(self, evaluator):
+        assert evaluate(evaluator, "100 in (select salary from emp)") is True
+        assert evaluate(evaluator, "150 in (select salary from emp)") is False
+
+    def test_in_subquery_must_have_one_column(self, evaluator):
+        with pytest.raises(QueryError, match="one column"):
+            evaluate(evaluator, "1 in (select id, dept from emp)")
+
+    def test_scalar_subquery(self, evaluator):
+        assert evaluate(evaluator, "(select max(salary) from emp)") == 200
+        assert (
+            evaluate(evaluator, "salary = (select min(salary) from emp)") is True
+        )
+
+    def test_empty_scalar_subquery_is_null(self, evaluator):
+        assert (
+            evaluate(evaluator, "(select id from emp where salary > 999)") is None
+        )
+
+    def test_scalar_subquery_multiple_rows_raises(self, evaluator):
+        with pytest.raises(QueryError, match="more than one row"):
+            evaluate(evaluator, "(select id from emp)")
+
+    def test_correlated_subquery(self, evaluator):
+        # For the bound emp row (dept 10), find rows in the same dept.
+        result = evaluate(
+            evaluator,
+            "exists (select * from emp e where e.dept = emp.dept and e.id <> emp.id)",
+        )
+        assert result is False  # only one employee in dept 10... id 1 itself
+
+    def test_unary_minus(self, evaluator):
+        assert evaluate(evaluator, "-salary") == -100
+        assert evaluate(evaluator, "-(1 + 2)") == -3
+
+    def test_scalar_function_call(self, evaluator):
+        assert evaluate(evaluator, "abs(0 - salary)") == 100
+
+    def test_aggregate_outside_select_rejected(self, evaluator):
+        with pytest.raises(QueryError, match="only allowed in SELECT"):
+            evaluate(evaluator, "count(salary) > 1")
+
+    def test_non_boolean_in_not_raises(self, evaluator):
+        with pytest.raises(EvaluationError, match="expected a boolean"):
+            evaluate(evaluator, "not salary")

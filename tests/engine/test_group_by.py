@@ -1,0 +1,205 @@
+"""GROUP BY / HAVING executor tests."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.query import DatabaseProvider, execute_select
+from repro.errors import QueryError
+from repro.lang.parser import parse_statement
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def provider():
+    schema = schema_from_spec({"emp": ["id", "dept", "salary"]})
+    database = Database(schema)
+    database.load(
+        "emp",
+        [
+            (1, 10, 100),
+            (2, 10, 200),
+            (3, 20, 300),
+            (4, 20, 100),
+            (5, 30, 50),
+        ],
+    )
+    return DatabaseProvider(database)
+
+
+def run(provider, source):
+    return execute_select(provider, parse_statement(source))
+
+
+class TestGroupBy:
+    def test_group_with_count(self, provider):
+        result = run(provider, "select dept, count(*) from emp group by dept")
+        assert sorted(result.rows) == [(10, 2), (20, 2), (30, 1)]
+        assert result.columns == ("dept", "count")
+
+    def test_group_with_multiple_aggregates(self, provider):
+        result = run(
+            provider,
+            "select dept, sum(salary), max(salary) from emp group by dept",
+        )
+        assert sorted(result.rows) == [
+            (10, 300, 200),
+            (20, 400, 300),
+            (30, 50, 50),
+        ]
+
+    def test_group_by_expression(self, provider):
+        result = run(
+            provider,
+            "select salary / 100, count(*) from emp group by salary / 100",
+        )
+        assert sorted(result.rows) == [(0, 1), (1, 2), (2, 1), (3, 1)]
+
+    def test_group_key_arithmetic_in_projection(self, provider):
+        result = run(
+            provider,
+            "select dept + 1, count(*) from emp group by dept",
+        )
+        assert sorted(result.rows) == [(11, 2), (21, 2), (31, 1)]
+
+    def test_where_applies_before_grouping(self, provider):
+        result = run(
+            provider,
+            "select dept, count(*) from emp where salary > 90 group by dept",
+        )
+        assert sorted(result.rows) == [(10, 2), (20, 2)]
+
+    def test_empty_input_yields_no_groups(self, provider):
+        result = run(
+            provider,
+            "select dept, count(*) from emp where salary > 999 group by dept",
+        )
+        assert result.rows == []
+
+    def test_group_over_join(self, provider):
+        result = run(
+            provider,
+            "select a.dept, count(*) from emp a, emp b "
+            "where a.dept = b.dept group by a.dept",
+        )
+        assert sorted(result.rows) == [(10, 4), (20, 4), (30, 1)]
+
+
+class TestHaving:
+    def test_having_filters_groups(self, provider):
+        result = run(
+            provider,
+            "select dept, count(*) from emp group by dept having count(*) > 1",
+        )
+        assert sorted(result.rows) == [(10, 2), (20, 2)]
+
+    def test_having_on_aggregate_not_in_projection(self, provider):
+        result = run(
+            provider,
+            "select dept from emp group by dept having sum(salary) >= 300",
+        )
+        assert sorted(result.rows) == [(10,), (20,)]
+
+    def test_having_with_boolean_connectives(self, provider):
+        result = run(
+            provider,
+            "select dept from emp group by dept "
+            "having count(*) > 1 and min(salary) < 150",
+        )
+        assert sorted(result.rows) == [(10,), (20,)]
+
+    def test_having_can_reference_group_key(self, provider):
+        result = run(
+            provider,
+            "select dept from emp group by dept having dept > 15",
+        )
+        assert sorted(result.rows) == [(20,), (30,)]
+
+
+class TestErrors:
+    def test_bare_column_not_in_group_by(self, provider):
+        with pytest.raises(QueryError, match="GROUP BY"):
+            run(provider, "select salary, count(*) from emp group by dept")
+
+    def test_star_with_group_by(self, provider):
+        with pytest.raises(QueryError, match=r"SELECT \*"):
+            run(provider, "select * from emp group by dept")
+
+    def test_having_without_group_by_rejected_by_ast(self):
+        from repro.lang import ast
+
+        with pytest.raises(ValueError, match="HAVING requires"):
+            ast.Select(
+                items=(ast.SelectItem(ast.Literal(1)),),
+                tables=(ast.TableRef("emp"),),
+                having=ast.Literal(True),
+            )
+
+
+class TestRoundTripAndRules:
+    def test_pretty_round_trip(self):
+        source = (
+            "select dept, count(*) from emp where salary > 0 "
+            "group by dept having count(*) > 1"
+        )
+        from repro.lang.pretty import format_statement
+
+        stmt = parse_statement(source)
+        assert format_statement(stmt) == source
+
+    def test_rule_with_group_by_action(self, provider):
+        """A rule can materialize per-group aggregates."""
+        from repro.analysis.derived import DerivedDefinitions
+        from repro.rules.ruleset import RuleSet
+        from repro.runtime.processor import RuleProcessor
+
+        schema = schema_from_spec(
+            {"emp": ["id", "dept", "salary"], "dept_totals": ["dept", "total"]}
+        )
+        ruleset = RuleSet.parse(
+            """
+            create rule refresh_totals on emp when inserted
+            then delete from dept_totals;
+                 insert into dept_totals
+                 (select dept, sum(salary) from emp group by dept)
+            """,
+            schema,
+        )
+        # Reads must include the grouped column.
+        definitions = DerivedDefinitions(ruleset)
+        assert ("emp", "dept") in definitions.reads("refresh_totals")
+        assert ("emp", "salary") in definitions.reads("refresh_totals")
+
+        database = Database(schema)
+        database.load("emp", [(1, 10, 100), (2, 10, 50)])
+        processor = RuleProcessor(ruleset, database)
+        processor.execute_user("insert into emp values (3, 20, 70)")
+        processor.run()
+        assert sorted(database.table("dept_totals").value_tuples()) == [
+            (10, 150),
+            (20, 70),
+        ]
+
+
+class TestNullGroupKeys:
+    def test_null_forms_its_own_group(self):
+        schema = schema_from_spec({"t": ["id", "v"]})
+        database = Database(schema)
+        database.load("t", [(1, 5), (2, None), (3, 5), (4, None)])
+        result = execute_select(
+            DatabaseProvider(database),
+            parse_statement("select v, count(*) from t group by v"),
+        )
+        assert sorted(result.rows, key=lambda r: (r[0] is not None, r[0])) == [
+            (None, 2),
+            (5, 2),
+        ]
+
+    def test_aggregates_skip_nulls_within_groups(self):
+        schema = schema_from_spec({"t": ["k", "v"]})
+        database = Database(schema)
+        database.load("t", [(1, 5), (1, None), (2, None)])
+        result = execute_select(
+            DatabaseProvider(database),
+            parse_statement("select k, sum(v), count(v) from t group by k"),
+        )
+        assert sorted(result.rows) == [(1, 5, 1), (2, None, 0)]

@@ -1,0 +1,86 @@
+"""Table storage tests."""
+
+import pytest
+
+from repro.engine.storage import Row, TableData
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def table():
+    data = TableData("t", 2)
+    data.insert(1, (1, 10))
+    data.insert(2, (2, 20))
+    return data
+
+
+class TestTableData:
+    def test_insert_and_get(self, table):
+        assert table.get(1) == (1, 10)
+        assert len(table) == 2
+        assert 1 in table and 3 not in table
+
+    def test_insert_wrong_arity(self, table):
+        with pytest.raises(ExecutionError, match="expects 2 values"):
+            table.insert(3, (1,))
+
+    def test_insert_duplicate_tid(self, table):
+        with pytest.raises(ExecutionError, match="duplicate tid"):
+            table.insert(1, (9, 9))
+
+    def test_delete_returns_old_values(self, table):
+        assert table.delete(1) == (1, 10)
+        assert table.get(1) is None
+        assert len(table) == 1
+
+    def test_delete_missing_tid(self, table):
+        with pytest.raises(ExecutionError, match="no tid"):
+            table.delete(99)
+
+    def test_update_returns_old_values(self, table):
+        old = table.update(1, (1, 99))
+        assert old == (1, 10)
+        assert table.get(1) == (1, 99)
+
+    def test_update_missing_tid(self, table):
+        with pytest.raises(ExecutionError, match="no tid"):
+            table.update(99, (0, 0))
+
+    def test_rows_in_tid_order(self, table):
+        assert table.rows() == [Row(1, (1, 10)), Row(2, (2, 20))]
+
+    def test_value_tuples(self, table):
+        assert table.value_tuples() == [(1, 10), (2, 20)]
+
+
+class TestCanonicalForm:
+    def test_canonical_ignores_tids(self):
+        first = TableData("t", 1)
+        first.insert(1, (5,))
+        first.insert(2, (3,))
+        second = TableData("t", 1)
+        second.insert(77, (3,))
+        second.insert(99, (5,))
+        assert first.canonical() == second.canonical()
+
+    def test_canonical_is_a_bag_not_a_set(self):
+        first = TableData("t", 1)
+        first.insert(1, (5,))
+        first.insert(2, (5,))
+        second = TableData("t", 1)
+        second.insert(1, (5,))
+        assert first.canonical() != second.canonical()
+
+    def test_canonical_sorts_mixed_nulls(self):
+        data = TableData("t", 1)
+        data.insert(1, (None,))
+        data.insert(2, (1,))
+        assert data.canonical() == ((None,), (1,))
+
+
+class TestCopy:
+    def test_copy_is_independent(self, table):
+        clone = table.copy()
+        clone.update(1, (0, 0))
+        assert table.get(1) == (1, 10)
+        assert clone.get(1) == (0, 0)

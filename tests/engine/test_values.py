@@ -1,0 +1,214 @@
+"""SQL value semantics: three-valued logic, arithmetic, aggregates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import values as V
+from repro.errors import EvaluationError
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        assert V.sql_arithmetic("+", 2, 3) == 5
+        assert V.sql_arithmetic("-", 2, 3) == -1
+        assert V.sql_arithmetic("*", 2, 3) == 6
+
+    def test_null_propagation(self):
+        for op in ("+", "-", "*", "/", "%", "||"):
+            assert V.sql_arithmetic(op, None, 1) is None
+            assert V.sql_arithmetic(op, 1, None) is None
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert V.sql_arithmetic("/", 7, 2) == 3
+        assert V.sql_arithmetic("/", -7, 2) == -3
+        assert V.sql_arithmetic("/", 7, -2) == -3
+
+    def test_float_division(self):
+        assert V.sql_arithmetic("/", 7.0, 2) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError, match="division by zero"):
+            V.sql_arithmetic("/", 1, 0)
+
+    def test_modulo(self):
+        assert V.sql_arithmetic("%", 7, 3) == 1
+        assert V.sql_arithmetic("%", -7, 3) == -1
+        assert V.sql_arithmetic("%", 7, -3) == 1
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(EvaluationError, match="modulo by zero"):
+            V.sql_arithmetic("%", 1, 0)
+
+    def test_string_concatenation(self):
+        assert V.sql_arithmetic("||", "ab", "cd") == "abcd"
+
+    def test_concat_rejects_non_strings(self):
+        with pytest.raises(EvaluationError):
+            V.sql_arithmetic("||", 1, "a")
+
+    def test_arithmetic_rejects_strings(self):
+        with pytest.raises(EvaluationError):
+            V.sql_arithmetic("+", "a", 1)
+
+    def test_arithmetic_rejects_booleans(self):
+        with pytest.raises(EvaluationError):
+            V.sql_arithmetic("+", True, 1)
+
+
+class TestComparison:
+    def test_numeric_comparisons(self):
+        assert V.sql_compare("<", 1, 2) is True
+        assert V.sql_compare(">=", 2, 2) is True
+        assert V.sql_compare("<>", 1, 1) is False
+
+    def test_int_float_comparison(self):
+        assert V.sql_compare("=", 1, 1.0) is True
+
+    def test_string_comparison(self):
+        assert V.sql_compare("<", "a", "b") is True
+
+    def test_null_comparison_is_unknown(self):
+        assert V.sql_compare("=", None, 1) is None
+        assert V.sql_compare("=", None, None) is None
+
+    def test_mixed_type_comparison_raises(self):
+        with pytest.raises(EvaluationError, match="cannot compare"):
+            V.sql_compare("=", 1, "a")
+
+    def test_bool_is_not_comparable_to_int(self):
+        with pytest.raises(EvaluationError):
+            V.sql_compare("=", True, 1)
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert V.sql_and(True, True) is True
+        assert V.sql_and(True, False) is False
+        assert V.sql_and(False, None) is False  # F dominates
+        assert V.sql_and(True, None) is None
+        assert V.sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert V.sql_or(False, False) is False
+        assert V.sql_or(True, None) is True  # T dominates
+        assert V.sql_or(False, None) is None
+        assert V.sql_or(None, None) is None
+
+    def test_not(self):
+        assert V.sql_not(True) is False
+        assert V.sql_not(False) is True
+        assert V.sql_not(None) is None
+
+    def test_truthiness_keeps_only_true(self):
+        assert V.sql_is_truthy(True)
+        assert not V.sql_is_truthy(False)
+        assert not V.sql_is_truthy(None)
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_de_morgan(self, a, b):
+        assert V.sql_not(V.sql_and(a, b)) == V.sql_or(V.sql_not(a), V.sql_not(b))
+
+    @given(
+        st.sampled_from([True, False, None]),
+        st.sampled_from([True, False, None]),
+        st.sampled_from([True, False, None]),
+    )
+    def test_and_or_are_associative(self, a, b, c):
+        assert V.sql_and(V.sql_and(a, b), c) == V.sql_and(a, V.sql_and(b, c))
+        assert V.sql_or(V.sql_or(a, b), c) == V.sql_or(a, V.sql_or(b, c))
+
+
+class TestLike:
+    def test_literal_match(self):
+        assert V.sql_like("abc", "abc") is True
+        assert V.sql_like("abc", "abd") is False
+
+    def test_percent_wildcard(self):
+        assert V.sql_like("hello world", "hello%") is True
+        assert V.sql_like("hello", "%llo") is True
+        assert V.sql_like("hello", "h%o") is True
+        assert V.sql_like("hello", "%") is True
+        assert V.sql_like("", "%") is True
+
+    def test_underscore_wildcard(self):
+        assert V.sql_like("cat", "c_t") is True
+        assert V.sql_like("cart", "c_t") is False
+
+    def test_null_propagation(self):
+        assert V.sql_like(None, "%") is None
+        assert V.sql_like("a", None) is None
+
+    def test_non_string_raises(self):
+        with pytest.raises(EvaluationError):
+            V.sql_like(1, "%")
+
+
+class TestAggregates:
+    def test_count_ignores_nulls(self):
+        assert V.aggregate("count", [1, None, 2], distinct=False) == 2
+
+    def test_count_distinct(self):
+        assert V.aggregate("count", [1, 1, 2, None], distinct=True) == 2
+
+    def test_sum_min_max_avg(self):
+        values = [3, 1, 2]
+        assert V.aggregate("sum", values, False) == 6
+        assert V.aggregate("min", values, False) == 1
+        assert V.aggregate("max", values, False) == 3
+        assert V.aggregate("avg", values, False) == 2.0
+
+    def test_empty_aggregates_are_null_except_count(self):
+        assert V.aggregate("count", [], False) == 0
+        assert V.aggregate("sum", [None], False) is None
+        assert V.aggregate("min", [], False) is None
+
+    def test_sum_distinct(self):
+        assert V.aggregate("sum", [2, 2, 3], distinct=True) == 5
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(EvaluationError):
+            V.aggregate("median", [1], False)
+
+
+class TestScalarFunctions:
+    def test_abs(self):
+        assert V.sql_scalar_function("abs", [-3]) == 3
+        assert V.sql_scalar_function("abs", [None]) is None
+
+    def test_string_functions(self):
+        assert V.sql_scalar_function("lower", ["AbC"]) == "abc"
+        assert V.sql_scalar_function("upper", ["abc"]) == "ABC"
+        assert V.sql_scalar_function("length", ["abc"]) == 3
+
+    def test_unknown_function(self):
+        with pytest.raises(EvaluationError, match="unknown function"):
+            V.sql_scalar_function("reverse", ["x"])
+
+    def test_wrong_arity(self):
+        with pytest.raises(EvaluationError, match="one argument"):
+            V.sql_scalar_function("abs", [1, 2])
+
+
+class TestSortKey:
+    def test_total_order_across_types(self):
+        values = ["b", None, 2, True, 1.5, "a", False]
+        ordered = sorted(values, key=V.sort_key)
+        assert ordered == [None, False, True, 1.5, 2, "a", "b"]
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(-100, 100),
+                st.text(max_size=4),
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sort_key_is_deterministic(self, values):
+        assert sorted(values, key=V.sort_key) == sorted(
+            list(reversed(values)), key=V.sort_key
+        )

@@ -1,0 +1,131 @@
+"""End-to-end CLI workflow on the procurement application.
+
+Writes the application out as the CLI's file formats (schema spec, rule
+source, data rows), then drives `starburst-analyze` through the full
+workflow: red analysis → certifications + orderings → green analysis
+with report, DOT graph, traced execution and per-instance exploration.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.applications import (
+    PROCUREMENT_REPAIRS,
+    procurement_application,
+)
+
+
+@pytest.fixture
+def project(tmp_path):
+    app = procurement_application()
+
+    schema_file = tmp_path / "schema.txt"
+    schema_file.write_text(
+        "\n".join(
+            f"{table.name}: "
+            + ", ".join(
+                column.name
+                if column.type.value == "int"
+                else f"{column.name}:{column.type.value}"
+                for column in (
+                    table.column(name) for name in table.column_names
+                )
+            )
+            for table in app.schema
+        )
+    )
+
+    rules_file = tmp_path / "rules.txt"
+    rules_file.write_text(app.ruleset.source())
+
+    data_file = tmp_path / "data.txt"
+    lines = []
+    for table in app.schema:
+        rows = app.database.table(table.name).value_tuples()
+        if rows:
+            rendered = ", ".join(
+                "(" + ", ".join(repr(v) for v in row) + ")" for row in rows
+            )
+            lines.append(f"{table.name}: {rendered}")
+    data_file.write_text("\n".join(lines))
+
+    return tmp_path, schema_file, rules_file, data_file
+
+
+def repair_arguments():
+    arguments = []
+    for kind, first, second in PROCUREMENT_REPAIRS:
+        if kind == "certify-termination":
+            arguments += ["--certify-termination", first]
+        else:
+            arguments += ["--order", f"{first},{second}"]
+    return arguments
+
+
+class TestCliWorkflow:
+    def test_unrepaired_analysis_is_red(self, project, capsys):
+        __, schema_file, rules_file, __ = project
+        code = main([str(rules_file), "--schema", str(schema_file)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "may not terminate" in out
+
+    def test_repaired_analysis_is_green(self, project, capsys):
+        __, schema_file, rules_file, __ = project
+        code = main(
+            [str(rules_file), "--schema", str(schema_file)]
+            + repair_arguments()
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "termination guaranteed" in out
+        assert "confluence requirement holds" in out
+
+    def test_full_workflow_with_artifacts(self, project, capsys):
+        tmp_path, schema_file, rules_file, data_file = project
+        report_file = tmp_path / "analysis.md"
+        dot_file = tmp_path / "graph.dot"
+        code = main(
+            [
+                str(rules_file),
+                "--schema",
+                str(schema_file),
+                "--report",
+                str(report_file),
+                "--dot",
+                str(dot_file),
+                "--data",
+                str(data_file),
+                "--run",
+                "insert into orders values (101, 11, 3)",
+                "--explore",
+            ]
+            + repair_arguments()
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rule processing trace" in out
+        assert "execution-graph exploration" in out
+        assert "confluent:           True" in out
+
+        report = report_file.read_text()
+        assert "| termination | **guaranteed** |" in report
+        dot = dot_file.read_text()
+        assert "palegreen" in dot  # certified cycles rendered green
+
+    def test_rollback_path_through_cli(self, project, capsys):
+        __, schema_file, rules_file, data_file = project
+        main(
+            [
+                str(rules_file),
+                "--schema",
+                str(schema_file),
+                "--data",
+                str(data_file),
+                "--run",
+                "insert into orders values (999, 12345, 1)",
+            ]
+            + repair_arguments()
+        )
+        out = capsys.readouterr().out
+        assert "outcome: rolled_back" in out

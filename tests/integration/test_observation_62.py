@@ -1,0 +1,125 @@
+"""Observation 6.2: unordered rules are very likely co-eligible.
+
+The paper justifies analyzing *every* unordered pair by constructing a
+scenario: take ``O' = Triggered-By(ri) ∪ Triggered-By(rj)`` as the
+initial user-generated operations, then walk until no triggered rule
+has precedence over either — that state has outgoing edges for both.
+These tests replay the construction on concrete rule sets.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.runtime.exec_graph import explore
+from repro.runtime.processor import RuleProcessor
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id"], "u": ["id"], "z": ["id"]})
+
+
+def co_eligible_state_exists(ruleset, database, statements, pair) -> bool:
+    """Walk the execution graph looking for a state where both rules of
+    *pair* are eligible simultaneously."""
+    processor = RuleProcessor(ruleset, database.copy())
+    for statement in statements:
+        processor.execute_user(statement)
+
+    seen = {processor.state_key()}
+    frontier = [processor]
+    while frontier:
+        current = frontier.pop()
+        eligible = set(current.eligible_rules())
+        if set(pair) <= eligible:
+            return True
+        for rule in eligible:
+            child = current.fork()
+            child.consider(rule)
+            key = child.state_key()
+            if key not in seen and len(seen) < 200:
+                seen.add(key)
+                frontier.append(child)
+    return False
+
+
+class TestObservation62:
+    def test_union_of_triggering_operations_co_triggers(self, schema):
+        # ri on t, rj on u: executing both triggering operations as the
+        # initial transition makes both eligible in the initial state.
+        ruleset = RuleSet.parse(
+            """
+            create rule ri on t when inserted then update z set id = 1
+            create rule rj on u when inserted then update z set id = 2
+            """,
+            schema,
+        )
+        statements = ["insert into t values (1)", "insert into u values (1)"]
+        assert co_eligible_state_exists(
+            ruleset, Database(schema), statements, ("ri", "rj")
+        )
+
+    def test_higher_priority_rules_considered_first(self, schema):
+        # A rule with precedence over both must be considered before the
+        # pair becomes co-eligible — the Observation's "path of length 0
+        # or more".
+        ruleset = RuleSet.parse(
+            """
+            create rule urgent on t when inserted
+            then update z set id = 0
+            precedes ri, rj
+
+            create rule ri on t when inserted then update z set id = 1
+            create rule rj on u when inserted then update z set id = 2
+            """,
+            schema,
+        )
+        statements = ["insert into t values (1)", "insert into u values (1)"]
+        processor = RuleProcessor(ruleset, Database(schema))
+        for statement in statements:
+            processor.execute_user(statement)
+        assert processor.eligible_rules() == ("urgent",)
+        assert co_eligible_state_exists(
+            ruleset, Database(schema), statements, ("ri", "rj")
+        )
+
+    def test_untriggering_is_the_documented_exception(self, schema):
+        # Footnote 4: the scenario can fail if one rule is untriggered
+        # along every path — killer (preceding both) deletes ri's
+        # triggering tuples.
+        ruleset = RuleSet.parse(
+            """
+            create rule killer on t when inserted
+            then delete from t
+            precedes ri, rj
+
+            create rule ri on t when inserted then update z set id = 1
+            create rule rj on u when inserted then update z set id = 2
+            """,
+            schema,
+        )
+        statements = ["insert into t values (1)", "insert into u values (1)"]
+        assert not co_eligible_state_exists(
+            ruleset, Database(schema), statements, ("ri", "rj")
+        )
+
+    def test_branching_states_back_the_confluence_analysis(self, schema):
+        """The graph-level consequence: the state with both rules
+        eligible has two outgoing edges, one per rule."""
+        ruleset = RuleSet.parse(
+            """
+            create rule ri on t when inserted then update z set id = 1
+            create rule rj on u when inserted then update z set id = 2
+            """,
+            schema,
+        )
+        database = Database(schema)
+        database.load("z", [(0,)])
+        processor = RuleProcessor(ruleset, database)
+        processor.execute_user("insert into t values (1)")
+        processor.execute_user("insert into u values (1)")
+        graph = explore(processor)
+        labels = {rule for rule, __ in graph.edges[graph.initial]}
+        assert labels == {"ri", "rj"}

@@ -1,0 +1,276 @@
+"""Integration tests reproducing the paper's theorems and claims
+end-to-end: static verdicts are checked against the execution-graph
+oracle on concrete instances. One test class per paper artifact."""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+from repro.validate.oracle import oracle_partial_confluence, oracle_verdict
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec(
+        {"t": ["id", "v"], "u": ["id", "w"], "z": ["id", "q"]}
+    )
+
+
+class TestTheorem51:
+    """Acyclic triggering graph ⇒ termination (validated on instances)."""
+
+    def test_acyclic_set_terminates_on_many_instances(self, schema):
+        source = """
+        create rule a on t when inserted then insert into u values (1, 1)
+        create rule b on u when inserted then insert into z values (1, 1)
+        create rule c on z when inserted then update z set q = 7 where id = 1
+        """
+        ruleset = RuleSet.parse(source, schema)
+        assert RuleAnalyzer(ruleset).analyze_termination().guaranteed
+        for rows in ([], [(1, 1)], [(1, 1), (2, 2)]):
+            database = Database(schema)
+            if rows:
+                database.load("t", rows)
+            verdict = oracle_verdict(
+                ruleset, database, ["insert into t values (9, 9)"]
+            )
+            assert verdict.terminates
+
+
+class TestSection5SpecialCases:
+    """Cycles in TG that nevertheless terminate — user certification."""
+
+    def test_delete_only_cycle(self, schema):
+        source = """
+        create rule purge on t when inserted, deleted
+        then delete from u where id in (select id from deleted)
+
+        create rule echo on u when deleted
+        then delete from t where id in (select id from deleted)
+        """
+        ruleset = RuleSet.parse(source, schema)
+        analyzer = RuleAnalyzer(ruleset)
+        analysis = analyzer.analyze_termination()
+        assert not analysis.guaranteed  # Theorem 5.1 cannot see it
+        # ...but the delete-only heuristic can certify the whole cycle.
+        component = analysis.cyclic_components[0]
+        assert analysis.auto_certifiable[component]
+        # And the oracle confirms termination on a concrete instance.
+        database = Database(schema)
+        database.load("t", [(1, 1), (2, 2)])
+        database.load("u", [(1, 1), (2, 2)])
+        verdict = oracle_verdict(ruleset, database, ["delete from t where id = 1"])
+        assert verdict.terminates
+
+    def test_monotonic_cycle(self, schema):
+        # increments v until the condition goes false: TG self-loop, but
+        # terminating. The user (not the tool) certifies this.
+        source = """
+        create rule climb on t when inserted, updated(v)
+        if exists (select * from t where v < 5)
+        then update t set v = v + 1 where v < 5
+        """
+        ruleset = RuleSet.parse(source, schema)
+        analyzer = RuleAnalyzer(ruleset)
+        assert not analyzer.analyze_termination().guaranteed
+        analyzer.certify_termination("climb")
+        assert analyzer.analyze_termination().guaranteed
+        verdict = oracle_verdict(
+            ruleset, Database(schema), ["insert into t values (1, 0)"]
+        )
+        assert verdict.terminates
+
+
+class TestTheorem67:
+    """Confluence Requirement + termination ⇒ single final state."""
+
+    CONFLUENT = """
+    create rule a on t when inserted
+    then update t set v = v * 2 where id in (select id from inserted)
+    precedes b
+
+    create rule b on t when inserted
+    then update t set v = v + 10 where id in (select id from inserted)
+    """
+
+    def test_static_accepts_and_oracle_confirms(self, schema):
+        ruleset = RuleSet.parse(self.CONFLUENT, schema)
+        report = RuleAnalyzer(ruleset).analyze()
+        assert report.confluent
+        verdict = oracle_verdict(
+            ruleset, Database(schema), ["insert into t values (1, 5)"]
+        )
+        assert verdict.confluent
+        assert len(verdict.graph.final_states) == 1
+
+    def test_removing_the_ordering_breaks_both(self, schema):
+        source = self.CONFLUENT.replace("precedes b\n", "")
+        ruleset = RuleSet.parse(source, schema)
+        report = RuleAnalyzer(ruleset).analyze()
+        assert not report.confluent
+        verdict = oracle_verdict(
+            ruleset, Database(schema), ["insert into t values (1, 5)"]
+        )
+        assert not verdict.confluent
+
+
+class TestFigure4Scenario:
+    """The R1/R2 construction (Figures 3–4): a triggered higher-priority
+    rule must be commutativity-checked against the other side."""
+
+    SOURCE = """
+    create rule ri on t when inserted then insert into u values (1, 1)
+
+    create rule helper on u when inserted
+    then update z set q = 1
+    precedes rj
+
+    create rule rj on t when inserted then update z set q = 2
+    """
+
+    def test_static_detects_indirect_conflict(self, schema):
+        ruleset = RuleSet.parse(self.SOURCE, schema)
+        analysis = RuleAnalyzer(ruleset).analyze_confluence()
+        assert not analysis.requirement_holds
+        indirect = [
+            violation
+            for violation in analysis.violations
+            if {violation.pair_first, violation.pair_second} == {"ri", "rj"}
+        ]
+        assert indirect, "the (ri, rj) pair must be flagged"
+        violation = indirect[0]
+        assert {violation.r1_member, violation.r2_member} == {"helper", "rj"}
+        assert "helper" in violation.r1_set
+
+    def test_oracle_exhibits_the_divergence(self, schema):
+        ruleset = RuleSet.parse(self.SOURCE, schema)
+        database = Database(schema)
+        database.load("z", [(1, 0)])
+        verdict = oracle_verdict(
+            ruleset, database, ["insert into t values (1, 1)"]
+        )
+        assert verdict.terminates
+        assert not verdict.confluent  # z.q ends 1 or 2 depending on order
+
+
+class TestTheorem72:
+    """Partial confluence: static accept ⇒ T'-projection agreement."""
+
+    def test_scratch_tables(self, schema):
+        source = """
+        create rule keep on t when inserted then update u set w = w + 1
+        create rule sa on t when inserted then update z set q = 1
+        create rule sb on t when inserted then update z set q = 2
+        """
+        ruleset = RuleSet.parse(source, schema)
+        analyzer = RuleAnalyzer(ruleset)
+        partial = analyzer.analyze_partial_confluence(["u"])
+        assert partial.confluent_with_respect_to_tables
+        database = Database(schema)
+        database.load("u", [(1, 0)])
+        database.load("z", [(1, 0)])
+        statements = ["insert into t values (1, 1)"]
+        assert oracle_partial_confluence(ruleset, database, statements, ["u"])
+        assert not oracle_partial_confluence(
+            ruleset, database, statements, ["z"]
+        )
+
+
+class TestTheorem81:
+    """Observable determinism: static accept ⇒ unique observable stream."""
+
+    def test_ordered_observables_give_one_stream(self, schema):
+        source = """
+        create rule wa on t when inserted
+        then select id from t
+        precedes wb
+        create rule wb on t when inserted then select v from t
+        """
+        ruleset = RuleSet.parse(source, schema)
+        report = RuleAnalyzer(ruleset).analyze()
+        assert report.observably_deterministic
+        verdict = oracle_verdict(
+            ruleset, Database(schema), ["insert into t values (1, 2)"]
+        )
+        assert verdict.observably_deterministic
+
+    def test_unordered_observables_yield_two_streams(self, schema):
+        source = """
+        create rule wa on t when inserted then select id from t
+        create rule wb on t when inserted then select v from t
+        """
+        ruleset = RuleSet.parse(source, schema)
+        report = RuleAnalyzer(ruleset).analyze()
+        assert not report.observably_deterministic
+        verdict = oracle_verdict(
+            ruleset, Database(schema), ["insert into t values (1, 2)"]
+        )
+        assert verdict.observably_deterministic is False
+
+
+class TestLemma61Examples:
+    """The two 'actually commute' examples below Lemma 6.1."""
+
+    def test_example_1_insert_never_satisfies_delete_condition(self, schema):
+        # ri inserts rows with v = 1; rj deletes rows with v > 100. The
+        # syntactic analysis flags condition 4; the user certifies; the
+        # oracle confirms commutativity on instances.
+        source = """
+        create rule ri on u when inserted then insert into t values (1, 1)
+        create rule rj on u when inserted then delete from t where v > 100
+        """
+        ruleset = RuleSet.parse(source, schema)
+        definitions = DerivedDefinitions(ruleset)
+        commutativity = CommutativityAnalyzer(definitions)
+        assert not commutativity.commute("ri", "rj")
+        commutativity.certify_commutes("ri", "rj")
+        assert commutativity.commute("ri", "rj")
+        # Oracle: single final state despite the unordered pair.
+        database = Database(schema)
+        database.load("t", [(9, 50)])
+        verdict = oracle_verdict(
+            ruleset, database, ["insert into u values (1, 1)"]
+        )
+        assert verdict.confluent
+
+    def test_example_2_updates_of_disjoint_tuples(self, schema):
+        source = """
+        create rule ri on u when inserted then update t set v = 1 where id = 1
+        create rule rj on u when inserted then update t set v = 2 where id = 2
+        """
+        ruleset = RuleSet.parse(source, schema)
+        commutativity = CommutativityAnalyzer(DerivedDefinitions(ruleset))
+        assert not commutativity.commute("ri", "rj")  # condition 5 fires
+        database = Database(schema)
+        database.load("t", [(1, 0), (2, 0)])
+        verdict = oracle_verdict(
+            ruleset, database, ["insert into u values (1, 1)"]
+        )
+        assert verdict.confluent  # they do actually commute
+
+
+class TestUntriggeringFootnote:
+    """Footnote 2's example: rule r1 triggered by insertions, rule r2
+    deletes all inserted tuples before r1 is considered."""
+
+    def test_untriggering_at_runtime(self, schema):
+        source = """
+        create rule r2 on t when inserted
+        then delete from t where id in (select id from inserted)
+        precedes r1
+
+        create rule r1 on t when inserted
+        then insert into u values (1, 1)
+        """
+        ruleset = RuleSet.parse(source, schema)
+        verdict = oracle_verdict(
+            ruleset, Database(schema), ["insert into t values (1, 1)"]
+        )
+        assert verdict.terminates
+        (final,) = set(verdict.graph.final_databases.values())
+        # r1 was untriggered by r2's deletion: u stays empty.
+        assert dict(final)["u"] == ()

@@ -1,0 +1,324 @@
+"""Parser tests: statements, expressions, and rule definitions."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import (
+    parse_expression,
+    parse_rule,
+    parse_rules,
+    parse_statement,
+)
+
+
+class TestSelectParsing:
+    def test_select_star(self):
+        stmt = parse_statement("select * from emp")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.is_star
+        assert stmt.tables == (ast.TableRef("emp"),)
+
+    def test_select_columns(self):
+        stmt = parse_statement("select id, salary from emp")
+        assert [item.expr for item in stmt.items] == [
+            ast.ColumnRef(None, "id"),
+            ast.ColumnRef(None, "salary"),
+        ]
+
+    def test_select_with_where(self):
+        stmt = parse_statement("select id from emp where salary > 100")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == ">"
+
+    def test_select_distinct(self):
+        stmt = parse_statement("select distinct dept from emp")
+        assert stmt.distinct
+
+    def test_select_with_alias(self):
+        stmt = parse_statement("select e.salary as pay from emp e")
+        assert stmt.items[0].alias == "pay"
+        assert stmt.tables[0].alias == "e"
+        assert stmt.tables[0].binding_name == "e"
+
+    def test_select_alias_without_as(self):
+        stmt = parse_statement("select salary pay from emp")
+        assert stmt.items[0].alias == "pay"
+
+    def test_select_join_two_tables(self):
+        stmt = parse_statement(
+            "select e.id from emp e, dept d where e.dept = d.id"
+        )
+        assert len(stmt.tables) == 2
+        assert stmt.tables[1].name == "dept"
+
+    def test_select_from_transition_table(self):
+        stmt = parse_statement("select * from inserted")
+        assert stmt.tables[0].name == "inserted"
+
+    def test_select_from_hyphenated_transition_table(self):
+        stmt = parse_statement("select * from new-updated")
+        assert stmt.tables[0].name == "new_updated"
+
+    def test_select_aggregate(self):
+        stmt = parse_statement("select count(*), sum(salary) from emp")
+        assert stmt.items[0].expr == ast.FuncCall("count", star=True)
+        assert stmt.items[1].expr == ast.FuncCall(
+            "sum", (ast.ColumnRef(None, "salary"),)
+        )
+
+    def test_count_distinct(self):
+        stmt = parse_statement("select count(distinct dept) from emp")
+        assert stmt.items[0].expr.distinct
+
+
+class TestInsertParsing:
+    def test_insert_values(self):
+        stmt = parse_statement("insert into emp values (1, 10, 100)")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.table == "emp"
+        assert stmt.rows == ((ast.Literal(1), ast.Literal(10), ast.Literal(100)),)
+
+    def test_insert_multiple_rows(self):
+        stmt = parse_statement("insert into t values (1, 2), (3, 4)")
+        assert len(stmt.rows) == 2
+
+    def test_insert_select_parenthesized(self):
+        stmt = parse_statement("insert into log_t (select id, v from inserted)")
+        assert stmt.query is not None
+        assert stmt.rows == ()
+
+    def test_insert_select_bare(self):
+        stmt = parse_statement("insert into log_t select id, v from inserted")
+        assert stmt.query is not None
+
+    def test_insert_negative_and_null_values(self):
+        stmt = parse_statement("insert into t values (-1, null)")
+        assert stmt.rows[0][0] == ast.UnaryOp("-", ast.Literal(1))
+        assert stmt.rows[0][1] == ast.Literal(None)
+
+
+class TestDeleteParsing:
+    def test_delete_all(self):
+        stmt = parse_statement("delete from emp")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.where is None
+
+    def test_delete_where(self):
+        stmt = parse_statement("delete from emp where salary > 100")
+        assert stmt.where is not None
+
+    def test_delete_with_alias(self):
+        stmt = parse_statement("delete from emp e where e.salary > 100")
+        assert stmt.alias == "e"
+
+
+class TestUpdateParsing:
+    def test_update_single_assignment(self):
+        stmt = parse_statement("update emp set salary = salary + 1")
+        assert isinstance(stmt, ast.Update)
+        assert stmt.assignments[0].column == "salary"
+
+    def test_update_multiple_assignments(self):
+        stmt = parse_statement("update emp set salary = 0, dept = 99 where id = 1")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_update_with_alias(self):
+        stmt = parse_statement("update emp e set salary = 0 where e.id = 1")
+        assert stmt.alias == "e"
+
+
+class TestRollbackParsing:
+    def test_bare_rollback(self):
+        stmt = parse_statement("rollback")
+        assert isinstance(stmt, ast.Rollback)
+        assert stmt.message == ""
+
+    def test_rollback_with_message(self):
+        stmt = parse_statement("rollback 'constraint violated'")
+        assert stmt.message == "constraint violated"
+
+
+class TestExpressionParsing:
+    def test_precedence_or_lower_than_and(self):
+        expr = parse_expression("a = 1 or b = 2 and c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_left_associativity_of_subtraction(self):
+        expr = parse_expression("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right == ast.Literal(3)
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("not a = 1 and b = 2")
+        assert expr.op == "and"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_is_null(self):
+        expr = parse_expression("salary is null")
+        assert expr == ast.IsNull(ast.ColumnRef(None, "salary"))
+
+    def test_is_not_null(self):
+        expr = parse_expression("salary is not null")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("dept in (10, 20)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 2
+
+    def test_not_in_list(self):
+        expr = parse_expression("dept not in (10)")
+        assert expr.negated
+
+    def test_in_subquery(self):
+        expr = parse_expression("dept in (select id from dept)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_exists(self):
+        expr = parse_expression("exists (select * from emp)")
+        assert isinstance(expr, ast.Exists)
+        assert not expr.negated
+
+    def test_not_exists(self):
+        expr = parse_expression("not exists (select * from emp)")
+        assert isinstance(expr, ast.Exists)
+        assert expr.negated
+
+    def test_between(self):
+        expr = parse_expression("salary between 10 and 20")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = parse_expression("salary not between 10 and 20")
+        assert expr.negated
+
+    def test_like(self):
+        expr = parse_expression("name like 'a%'")
+        assert expr.op == "like"
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("salary > (select max(salary) from emp)")
+        assert isinstance(expr.right, ast.ScalarSubquery)
+
+    def test_string_comparison(self):
+        expr = parse_expression("name = 'alice'")
+        assert expr.right == ast.Literal("alice")
+
+    def test_boolean_literals(self):
+        assert parse_expression("true") == ast.Literal(True)
+        assert parse_expression("false") == ast.Literal(False)
+
+    def test_bang_equals_normalized(self):
+        expr = parse_expression("a != b")
+        assert expr.op == "<>"
+
+    def test_scalar_function(self):
+        expr = parse_expression("abs(x) > 3")
+        assert expr.left == ast.FuncCall("abs", (ast.ColumnRef(None, "x"),))
+
+    def test_unary_plus_is_dropped(self):
+        assert parse_expression("+5") == ast.Literal(5)
+
+
+class TestRuleParsing:
+    RULE = """
+    create rule raise_check on emp
+    when updated(salary), inserted
+    if exists (select * from new_updated where salary > 100)
+    then update emp set salary = 100 where salary > 100;
+         insert into audit values (1, 1)
+    precedes other_rule
+    follows first_rule, second_rule
+    """
+
+    def test_full_rule(self):
+        rule = parse_rule(self.RULE)
+        assert rule.name == "raise_check"
+        assert rule.table == "emp"
+        assert rule.triggers == (
+            ast.TriggerSpec(ast.TriggerKind.UPDATED, ("salary",)),
+            ast.TriggerSpec(ast.TriggerKind.INSERTED),
+        )
+        assert rule.condition is not None
+        assert len(rule.actions) == 2
+        assert rule.precedes == ("other_rule",)
+        assert rule.follows == ("first_rule", "second_rule")
+
+    def test_minimal_rule(self):
+        rule = parse_rule(
+            "create rule r on t when deleted then delete from t2"
+        )
+        assert rule.condition is None
+        assert rule.precedes == ()
+
+    def test_updated_without_columns(self):
+        rule = parse_rule("create rule r on t when updated then delete from t")
+        assert rule.triggers[0].columns == ()
+
+    def test_multiple_rules(self):
+        rules = parse_rules(
+            """
+            create rule a on t when inserted then delete from t
+            create rule b on t when deleted then insert into t values (1)
+            """
+        )
+        assert [rule.name for rule in rules] == ["a", "b"]
+
+    def test_rules_separated_by_semicolon(self):
+        rules = parse_rules(
+            "create rule a on t when inserted then delete from t;"
+            "create rule b on t when inserted then delete from t"
+        )
+        assert len(rules) == 2
+
+    def test_rollback_action(self):
+        rule = parse_rule("create rule r on t when inserted then rollback 'no'")
+        assert isinstance(rule.actions[0], ast.Rollback)
+
+
+class TestParseErrors:
+    def test_missing_when_clause(self):
+        with pytest.raises(ParseError, match="'when'"):
+            parse_rule("create rule r on t then delete from t")
+
+    def test_bad_trigger(self):
+        with pytest.raises(ParseError, match="inserted"):
+            parse_rule("create rule r on t when dropped then delete from t")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_statement("select * from t garbage extra")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_statement("select *")
+
+    def test_insert_requires_values_or_select(self):
+        with pytest.raises(ParseError, match="values"):
+            parse_statement("insert into t (1, 2)")
+
+    def test_empty_expression(self):
+        with pytest.raises(ParseError):
+            parse_expression("")
+
+    def test_not_without_predicate(self):
+        with pytest.raises(ParseError):
+            parse_expression("a not")
+
+    def test_error_message_has_position(self):
+        with pytest.raises(ParseError, match=r"line \d"):
+            parse_statement("select * from")

@@ -1,0 +1,144 @@
+"""Cross-cutting static-analysis properties over generated rule sets."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.commutativity import CommutativityAnalyzer
+from repro.analysis.confluence import ConfluenceAnalyzer, build_interference_sets
+from repro.analysis.derived import DerivedDefinitions
+from repro.rules.events import all_events
+from repro.rules.ruleset import RuleSet
+from repro.workloads.generator import (
+    GeneratorConfig,
+    LayeredRuleSetGenerator,
+    RandomRuleSetGenerator,
+)
+
+CONFIG = GeneratorConfig(n_tables=3, n_columns=2, n_rules=5, p_priority=0.3)
+
+
+def any_ruleset(seed: int) -> RuleSet:
+    if seed % 2:
+        return LayeredRuleSetGenerator(CONFIG, seed=seed).generate()
+    return RandomRuleSetGenerator(CONFIG, seed=seed).generate()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_derived_sets_stay_within_schema(seed):
+    ruleset = any_ruleset(seed)
+    definitions = DerivedDefinitions(ruleset)
+    events = all_events(ruleset.schema)
+    columns = set(ruleset.schema.columns())
+    for name in ruleset.names:
+        assert definitions.triggered_by(name) <= events
+        assert definitions.performs(name) <= events
+        assert set(definitions.reads(name)) <= columns
+        assert definitions.triggers(name) <= set(ruleset.names)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_triggers_is_exactly_event_intersection(seed):
+    ruleset = any_ruleset(seed)
+    definitions = DerivedDefinitions(ruleset)
+    for source in ruleset.names:
+        for target in ruleset.names:
+            expected = bool(
+                definitions.performs(source) & definitions.triggered_by(target)
+            )
+            assert (target in definitions.triggers(source)) == expected
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_commutativity_is_symmetric(seed):
+    ruleset = any_ruleset(seed)
+    analyzer = CommutativityAnalyzer(DerivedDefinitions(ruleset))
+    names = list(ruleset.names)
+    for first in names:
+        for second in names:
+            assert analyzer.commute(first, second) == analyzer.commute(
+                second, first
+            )
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_certification_is_monotone_for_confluence(seed):
+    """Certifying a pair can only remove violations, never add them."""
+    ruleset = any_ruleset(seed)
+    definitions = DerivedDefinitions(ruleset)
+    commutativity = CommutativityAnalyzer(definitions)
+    analyzer = ConfluenceAnalyzer(definitions, ruleset.priorities, commutativity)
+    before = analyzer.analyze()
+    if before.requirement_holds:
+        return
+    violation = before.violations[0]
+    commutativity.certify_commutes(violation.r1_member, violation.r2_member)
+    after = analyzer.analyze()
+    assert len(after.violations) < len(before.violations)
+
+    remaining = {
+        (v.pair_first, v.pair_second, v.r1_member, v.r2_member)
+        for v in after.violations
+    }
+    original = {
+        (v.pair_first, v.pair_second, v.r1_member, v.r2_member)
+        for v in before.violations
+    }
+    assert remaining <= original
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_interference_sets_contain_their_seeds(seed):
+    ruleset = any_ruleset(seed)
+    definitions = DerivedDefinitions(ruleset)
+    for first, second in ruleset.priorities.unordered_pairs():
+        r1, r2 = build_interference_sets(
+            definitions, ruleset.priorities, first, second
+        )
+        assert first in r1
+        assert second in r2
+        assert second not in r1
+        assert first not in r2
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_total_ordering_always_silences_confluence(seed):
+    """With every pair ordered there are no unordered pairs, so the
+    Confluence Requirement holds vacuously (prior OPS5 work's approach)."""
+    ruleset = any_ruleset(seed)
+    # Chain the rules along a linear extension of the existing partial
+    # order (|lower_than| strictly grows along P, so sorting by it
+    # descending is a valid topological order), which can never cycle.
+    names = sorted(
+        ruleset.names,
+        key=lambda name: len(ruleset.priorities.lower_than(name)),
+        reverse=True,
+    )
+    for index in range(len(names) - 1):
+        if ruleset.priorities.are_unordered(names[index], names[index + 1]):
+            ruleset.add_priority(names[index], names[index + 1])
+    analyzer = RuleAnalyzer(ruleset)
+    analysis = analyzer.analyze_confluence()
+    assert analysis.requirement_holds
+    assert analysis.pairs_examined == 0
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_generated_rulesets_round_trip_through_source(seed):
+    ruleset = any_ruleset(seed)
+    reparsed = RuleSet.parse(ruleset.source(), ruleset.schema)
+    assert reparsed.names == ruleset.names
+    assert reparsed.priorities.pairs() == ruleset.priorities.pairs()
+    for name in ruleset.names:
+        assert reparsed.rule(name).definition == ruleset.rule(name).definition

@@ -1,0 +1,98 @@
+"""Rule activation/deactivation tests (Starburst's deactivate command)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import RuleError
+from repro.rules.ruleset import RuleSet
+from repro.runtime.processor import RuleProcessor
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id"], "log_t": ["id"]})
+
+
+@pytest.fixture
+def ruleset(schema):
+    return RuleSet.parse(
+        """
+        create rule logger on t when inserted
+        then insert into log_t (select id from inserted)
+
+        create rule cleaner on log_t when inserted
+        then delete from log_t where id < 0
+        """,
+        schema,
+    )
+
+
+class TestActivationState:
+    def test_rules_start_active(self, ruleset):
+        assert ruleset.is_active("logger")
+        assert ruleset.active_names == ("logger", "cleaner")
+
+    def test_deactivate_and_activate(self, ruleset):
+        ruleset.deactivate("logger")
+        assert not ruleset.is_active("logger")
+        assert ruleset.active_names == ("cleaner",)
+        ruleset.activate("logger")
+        assert ruleset.is_active("logger")
+
+    def test_unknown_rule_rejected(self, ruleset):
+        with pytest.raises(RuleError):
+            ruleset.deactivate("ghost")
+        with pytest.raises(RuleError):
+            ruleset.is_active("ghost")
+
+    def test_active_subset_for_analysis(self, ruleset):
+        ruleset.deactivate("cleaner")
+        subset = ruleset.active_subset()
+        assert subset.names == ("logger",)
+
+    def test_subset_resets_activation(self, ruleset):
+        ruleset.deactivate("logger")
+        subset = ruleset.subset(["logger"])
+        assert subset.is_active("logger")
+
+
+class TestRuntimeEffect:
+    def test_deactivated_rule_never_triggers(self, ruleset, schema):
+        ruleset.deactivate("logger")
+        processor = RuleProcessor(ruleset, Database(schema))
+        processor.execute_user("insert into t values (1)")
+        assert processor.triggered_rules() == ()
+        processor.run()
+        assert len(processor.database.table("log_t")) == 0
+
+    def test_reactivation_does_not_resurrect_old_transitions(
+        self, ruleset, schema
+    ):
+        """Operations processed to quiescence while a rule was inactive
+        do not trigger it after reactivation (markers advanced at the
+        assertion point)."""
+        ruleset.deactivate("logger")
+        processor = RuleProcessor(ruleset, Database(schema))
+        processor.execute_user("insert into t values (1)")
+        processor.run()
+        ruleset.activate("logger")
+        assert processor.triggered_rules() == ()
+
+    def test_reactivation_mid_transition_sees_pending_operations(
+        self, ruleset, schema
+    ):
+        """Before any assertion point, a reactivated rule's marker still
+        covers the pending operations."""
+        ruleset.deactivate("logger")
+        processor = RuleProcessor(ruleset, Database(schema))
+        processor.execute_user("insert into t values (1)")
+        ruleset.activate("logger")
+        assert processor.triggered_rules() == ("logger",)
+
+    def test_deactivating_mid_processing_skips_the_rule(self, ruleset, schema):
+        processor = RuleProcessor(ruleset, Database(schema))
+        processor.execute_user("insert into t values (1)")
+        assert processor.eligible_rules() == ("logger",)
+        ruleset.deactivate("logger")
+        assert processor.eligible_rules() == ()

@@ -1,0 +1,42 @@
+"""Trigger event tests — the operation set O of Section 3."""
+
+import pytest
+
+from repro.rules.events import TriggerEvent, all_events
+from repro.schema.catalog import schema_from_spec
+
+
+class TestTriggerEvent:
+    def test_constructors_normalize_case(self):
+        assert TriggerEvent.insert("T").table == "t"
+        assert TriggerEvent.update("T", "C").column == "c"
+
+    def test_update_requires_column(self):
+        with pytest.raises(ValueError):
+            TriggerEvent("U", "t")
+        with pytest.raises(ValueError):
+            TriggerEvent("I", "t", "c")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            TriggerEvent("Z", "t")
+
+    def test_equality_and_hash(self):
+        assert TriggerEvent.insert("t") == TriggerEvent.insert("T")
+        assert TriggerEvent.insert("t") != TriggerEvent.delete("t")
+        assert len({TriggerEvent.insert("t"), TriggerEvent.insert("t")}) == 1
+
+    def test_str(self):
+        assert str(TriggerEvent.insert("t")) == "(I, t)"
+        assert str(TriggerEvent.delete("t")) == "(D, t)"
+        assert str(TriggerEvent.update("t", "c")) == "(U, t.c)"
+
+
+class TestAllEvents:
+    def test_full_operation_set(self):
+        schema = schema_from_spec({"a": ["x", "y"], "b": ["z"]})
+        events = all_events(schema)
+        # 2 tables x (I, D) + 3 columns x U
+        assert len(events) == 7
+        assert TriggerEvent.update("a", "y") in events
+        assert TriggerEvent.delete("b") in events

@@ -1,0 +1,169 @@
+"""Priority relation tests, including hypothesis order-theoretic properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PriorityCycleError, RuleError
+from repro.rules.priorities import PriorityRelation
+
+
+def relation(*names):
+    return PriorityRelation(list(names))
+
+
+class TestBasics:
+    def test_direct_ordering(self):
+        p = relation("a", "b")
+        p.add_ordering("a", "b")
+        assert p.has_precedence("a", "b")
+        assert not p.has_precedence("b", "a")
+
+    def test_transitive_closure(self):
+        p = relation("a", "b", "c")
+        p.add_ordering("a", "b")
+        p.add_ordering("b", "c")
+        assert p.has_precedence("a", "c")
+        assert ("a", "c") in p
+
+    def test_unordered_pairs(self):
+        p = relation("a", "b", "c")
+        p.add_ordering("a", "b")
+        assert p.are_unordered("a", "c")
+        assert p.are_unordered("b", "c")
+        assert not p.are_unordered("a", "b")
+        assert p.unordered_pairs() == [("a", "c"), ("b", "c")]
+
+    def test_same_rule_is_not_unordered(self):
+        p = relation("a")
+        assert not p.are_unordered("a", "a")
+
+    def test_case_insensitive(self):
+        p = relation("A", "b")
+        p.add_ordering("a", "B")
+        assert p.has_precedence("A", "b")
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(RuleError, match="unknown rule"):
+            relation("a").add_ordering("a", "ghost")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(RuleError, match="duplicate"):
+            relation("a", "A")
+
+
+class TestCycleRejection:
+    def test_self_ordering_rejected(self):
+        with pytest.raises(PriorityCycleError):
+            relation("a").add_ordering("a", "a")
+
+    def test_two_cycle_rejected(self):
+        p = relation("a", "b")
+        p.add_ordering("a", "b")
+        with pytest.raises(PriorityCycleError):
+            p.add_ordering("b", "a")
+
+    def test_transitive_cycle_rejected(self):
+        p = relation("a", "b", "c")
+        p.add_ordering("a", "b")
+        p.add_ordering("b", "c")
+        with pytest.raises(PriorityCycleError):
+            p.add_ordering("c", "a")
+
+    def test_failed_add_leaves_relation_unchanged(self):
+        p = relation("a", "b")
+        p.add_ordering("a", "b")
+        with pytest.raises(PriorityCycleError):
+            p.add_ordering("b", "a")
+        assert p.has_precedence("a", "b")
+        assert not p.has_precedence("b", "a")
+
+
+class TestRemoval:
+    def test_remove_direct_edge(self):
+        p = relation("a", "b")
+        p.add_ordering("a", "b")
+        assert p.remove_ordering("a", "b")
+        assert p.are_unordered("a", "b")
+
+    def test_remove_missing_edge_returns_false(self):
+        assert not relation("a", "b").remove_ordering("a", "b")
+
+    def test_transitive_edge_cannot_be_removed_directly(self):
+        p = relation("a", "b", "c")
+        p.add_ordering("a", "b")
+        p.add_ordering("b", "c")
+        assert not p.remove_ordering("a", "c")
+        assert p.has_precedence("a", "c")
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        p = relation("a", "b")
+        p.add_ordering("a", "b")
+        q = p.copy()
+        q.remove_ordering("a", "b")
+        assert p.has_precedence("a", "b")
+        assert not q.has_precedence("a", "b")
+
+
+# ----------------------------------------------------------------------
+# Order-theoretic properties on random DAG edge sets.
+# ----------------------------------------------------------------------
+
+_names = [f"r{i}" for i in range(6)]
+
+
+@st.composite
+def random_relations(draw):
+    p = PriorityRelation(list(_names))
+    # Only add forward edges (ri -> rj with i < j): guaranteed acyclic.
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(
+                lambda pair: pair[0] < pair[1]
+            ),
+            max_size=10,
+        )
+    )
+    for i, j in edges:
+        p.add_ordering(_names[i], _names[j])
+    return p
+
+
+@given(random_relations())
+@settings(max_examples=100, deadline=None)
+def test_relation_is_irreflexive(p):
+    for name in _names:
+        assert not p.has_precedence(name, name)
+
+
+@given(random_relations())
+@settings(max_examples=100, deadline=None)
+def test_relation_is_antisymmetric(p):
+    for first in _names:
+        for second in _names:
+            if first != second and p.has_precedence(first, second):
+                assert not p.has_precedence(second, first)
+
+
+@given(random_relations())
+@settings(max_examples=100, deadline=None)
+def test_relation_is_transitive(p):
+    for a in _names:
+        for b in _names:
+            for c in _names:
+                if p.has_precedence(a, b) and p.has_precedence(b, c):
+                    assert p.has_precedence(a, c)
+
+
+@given(random_relations())
+@settings(max_examples=100, deadline=None)
+def test_pairs_and_unordered_pairs_partition(p):
+    ordered = {frozenset(pair) for pair in p.pairs()}
+    unordered = {frozenset(pair) for pair in p.unordered_pairs()}
+    assert not (ordered & unordered)
+    all_pairs = {
+        frozenset({a, b}) for a in _names for b in _names if a != b
+    }
+    assert ordered | unordered == all_pairs

@@ -1,0 +1,178 @@
+"""Rule object tests: validation and Triggered-By computation."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.rules.events import TriggerEvent
+from repro.rules.rule import Rule
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec(
+        {"emp": ["id", "dept", "salary"], "audit": ["id", "event"]}
+    )
+
+
+class TestTriggeredBy:
+    def test_inserted(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when inserted then delete from audit", schema
+        )
+        assert rule.triggered_by == frozenset({TriggerEvent.insert("emp")})
+
+    def test_deleted(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when deleted then delete from audit", schema
+        )
+        assert rule.triggered_by == frozenset({TriggerEvent.delete("emp")})
+
+    def test_updated_with_columns(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when updated(salary, dept) "
+            "then delete from audit",
+            schema,
+        )
+        assert rule.triggered_by == frozenset(
+            {
+                TriggerEvent.update("emp", "salary"),
+                TriggerEvent.update("emp", "dept"),
+            }
+        )
+
+    def test_updated_without_columns_means_all(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when updated then delete from audit", schema
+        )
+        assert rule.triggered_by == frozenset(
+            {
+                TriggerEvent.update("emp", "id"),
+                TriggerEvent.update("emp", "dept"),
+                TriggerEvent.update("emp", "salary"),
+            }
+        )
+
+    def test_combined_triggers(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when inserted, deleted then delete from audit",
+            schema,
+        )
+        assert len(rule.triggered_by) == 2
+
+
+class TestObservable:
+    def test_select_action_is_observable(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when inserted then select * from emp", schema
+        )
+        assert rule.is_observable
+
+    def test_rollback_action_is_observable(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when inserted then rollback", schema
+        )
+        assert rule.is_observable
+
+    def test_dml_only_is_not_observable(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when inserted then delete from audit", schema
+        )
+        assert not rule.is_observable
+
+    def test_select_in_condition_is_not_observable(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when inserted "
+            "if exists (select * from emp) then delete from audit",
+            schema,
+        )
+        assert not rule.is_observable
+
+
+class TestValidation:
+    def test_unknown_rule_table(self, schema):
+        with pytest.raises(RuleError, match="unknown table"):
+            Rule.parse(
+                "create rule r on ghost when inserted then delete from audit",
+                schema,
+            )
+
+    def test_unknown_trigger_column(self, schema):
+        with pytest.raises(RuleError, match="names no column"):
+            Rule.parse(
+                "create rule r on emp when updated(ghost) "
+                "then delete from audit",
+                schema,
+            )
+
+    def test_unknown_action_table(self, schema):
+        with pytest.raises(RuleError, match="unknown table"):
+            Rule.parse(
+                "create rule r on emp when inserted then delete from ghost",
+                schema,
+            )
+
+    def test_unknown_update_column(self, schema):
+        with pytest.raises(RuleError, match="unknown column"):
+            Rule.parse(
+                "create rule r on emp when inserted "
+                "then update audit set ghost = 1",
+                schema,
+            )
+
+    def test_unknown_table_in_subquery(self, schema):
+        with pytest.raises(RuleError, match="unknown table"):
+            Rule.parse(
+                "create rule r on emp when inserted "
+                "if exists (select * from ghost) then delete from audit",
+                schema,
+            )
+
+    def test_transition_table_requires_matching_trigger(self, schema):
+        with pytest.raises(RuleError, match="transition table"):
+            Rule.parse(
+                "create rule r on emp when inserted "
+                "if exists (select * from deleted) then delete from audit",
+                schema,
+            )
+
+    def test_new_updated_requires_updated_trigger(self, schema):
+        with pytest.raises(RuleError, match="transition table"):
+            Rule.parse(
+                "create rule r on emp when inserted "
+                "if exists (select * from new_updated) then delete from audit",
+                schema,
+            )
+
+    def test_matching_transition_table_accepted(self, schema):
+        Rule.parse(
+            "create rule r on emp when updated(salary) "
+            "if exists (select * from new_updated) then delete from audit",
+            schema,
+        )
+
+    def test_cannot_modify_transition_table(self, schema):
+        with pytest.raises(RuleError, match="cannot modify"):
+            Rule.parse(
+                "create rule r on emp when inserted then delete from inserted",
+                schema,
+            )
+
+
+class TestMisc:
+    def test_source_round_trips(self, schema):
+        rule = Rule.parse(
+            "create rule r on emp when updated(salary) "
+            "if exists (select * from new_updated where salary > 10) "
+            "then update emp set salary = 10 where salary > 10",
+            schema,
+        )
+        assert Rule.parse(rule.source(), schema) == rule
+
+    def test_names_lowercased(self, schema):
+        rule = Rule.parse(
+            "create rule BigRule on EMP when inserted then delete from audit",
+            schema,
+        )
+        assert rule.name == "bigrule"
+        assert rule.table == "emp"

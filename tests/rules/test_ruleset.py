@@ -1,0 +1,130 @@
+"""Rule set tests: construction, Choose, priorities, subsetting."""
+
+import pytest
+
+from repro.errors import PriorityCycleError, RuleError
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["x"]})
+
+
+FOUR_RULES = """
+create rule a on t when inserted then delete from u
+create rule b on t when inserted then delete from u
+follows a
+create rule c on t when inserted then delete from u
+follows b
+create rule d on t when inserted then delete from u
+"""
+
+
+@pytest.fixture
+def ruleset(schema):
+    return RuleSet.parse(FOUR_RULES, schema)
+
+
+class TestConstruction:
+    def test_parse_and_access(self, ruleset):
+        assert ruleset.names == ("a", "b", "c", "d")
+        assert len(ruleset) == 4
+        assert "a" in ruleset
+        assert ruleset.rule("A").name == "a"
+
+    def test_unknown_rule(self, ruleset):
+        with pytest.raises(RuleError, match="unknown rule"):
+            ruleset.rule("ghost")
+
+    def test_duplicate_rule_name_rejected(self, schema):
+        with pytest.raises(RuleError, match="duplicate rule name"):
+            RuleSet.parse(
+                """
+                create rule a on t when inserted then delete from u
+                create rule a on t when deleted then delete from u
+                """,
+                schema,
+            )
+
+    def test_precedes_unknown_rule_rejected(self, schema):
+        with pytest.raises(RuleError, match="precedes unknown rule"):
+            RuleSet.parse(
+                "create rule a on t when inserted then delete from u "
+                "precedes ghost",
+                schema,
+            )
+
+    def test_follows_and_precedes_build_p(self, ruleset):
+        # b follows a: a > b; c follows b: b > c; transitively a > c.
+        assert ruleset.priorities.has_precedence("a", "b")
+        assert ruleset.priorities.has_precedence("b", "c")
+        assert ruleset.priorities.has_precedence("a", "c")
+
+    def test_cyclic_priorities_rejected(self, schema):
+        with pytest.raises(PriorityCycleError):
+            RuleSet.parse(
+                """
+                create rule a on t when inserted then delete from u
+                precedes b
+                create rule b on t when inserted then delete from u
+                precedes a
+                """,
+                schema,
+            )
+
+
+class TestChoose:
+    def test_choose_returns_maximal_triggered(self, ruleset):
+        # All triggered: only a (top of a>b>c chain) and d are eligible.
+        assert ruleset.choose(["a", "b", "c", "d"]) == ("a", "d")
+
+    def test_choose_ignores_priorities_of_untriggered_rules(self, ruleset):
+        # a not triggered: b becomes eligible despite a > b.
+        assert ruleset.choose(["b", "c"]) == ("b",)
+
+    def test_choose_empty(self, ruleset):
+        assert ruleset.choose([]) == ()
+
+    def test_choose_unknown_rule(self, ruleset):
+        with pytest.raises(RuleError):
+            ruleset.choose(["ghost"])
+
+    def test_choose_preserves_definition_order(self, ruleset):
+        assert ruleset.choose(["d", "a"]) == ("a", "d")
+
+
+class TestPriorityEditing:
+    def test_add_priority(self, ruleset):
+        ruleset.add_priority("d", "a")
+        assert ruleset.priorities.has_precedence("d", "a")
+        assert ruleset.choose(["a", "d"]) == ("d",)
+
+    def test_remove_priority(self, ruleset):
+        assert ruleset.remove_priority("a", "b")
+        assert ruleset.priorities.are_unordered("a", "b")
+
+
+class TestSubset:
+    def test_subset_keeps_rules_and_orderings(self, ruleset):
+        subset = ruleset.subset(["a", "c"])
+        assert subset.names == ("a", "c")
+        # a > c came via transitivity through b; it must be preserved.
+        assert subset.priorities.has_precedence("a", "c")
+
+    def test_subset_keeps_interactively_added_orderings(self, ruleset):
+        ruleset.add_priority("d", "a")
+        subset = ruleset.subset(["a", "d"])
+        assert subset.priorities.has_precedence("d", "a")
+
+    def test_subset_unknown_rule(self, ruleset):
+        with pytest.raises(RuleError):
+            ruleset.subset(["ghost"])
+
+
+class TestSource:
+    def test_source_round_trips(self, ruleset, schema):
+        reparsed = RuleSet.parse(ruleset.source(), schema)
+        assert reparsed.names == ruleset.names
+        assert reparsed.priorities.pairs() == ruleset.priorities.pairs()

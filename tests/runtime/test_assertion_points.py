@@ -1,0 +1,107 @@
+"""Assertion-point semantics (Section 2): marker advance at quiescence.
+
+"There is an assertion point at the end of each transaction, and there
+may be additional user-specified assertion points within a transaction.
+... [a rule] not yet been considered ... is triggered if its transition
+predicate holds with respect to the transition since the last rule
+assertion point or start of the transaction."
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.runtime.processor import RuleProcessor
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "log_t": ["id", "v"]})
+
+
+class TestMarkerAdvance:
+    def test_earlier_assertion_point_ops_do_not_compose(self, schema):
+        """Insert at AP1 (rule on updated(v) stays untriggered); update at
+        AP2. With per-assertion-point transitions the rule sees just the
+        update — it must fire. (Composing across the assertion point
+        would fold insert∘update into an insert and never trigger it.)"""
+        ruleset = RuleSet.parse(
+            "create rule watch on t when updated(v) "
+            "then insert into log_t (select id, v from new_updated)",
+            schema,
+        )
+        processor = RuleProcessor(ruleset, Database(schema))
+
+        processor.execute_user("insert into t values (1, 5)")
+        result = processor.run()  # assertion point 1
+        assert result.steps == []  # watch not triggered by the insert
+
+        processor.execute_user("update t set v = 9 where id = 1")
+        result = processor.run()  # assertion point 2
+        assert result.rules_considered == ["watch"]
+        assert processor.database.table("log_t").value_tuples() == [(1, 9)]
+
+    def test_net_effect_within_one_assertion_point_still_composes(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule watch on t when updated(v) "
+            "then insert into log_t (select id, v from new_updated)",
+            schema,
+        )
+        processor = RuleProcessor(ruleset, Database(schema))
+        # Same operations, same assertion point: insert∘update = insert,
+        # so the updated(v) rule must NOT fire.
+        processor.execute_user("insert into t values (1, 5)")
+        processor.execute_user("update t set v = 9 where id = 1")
+        result = processor.run()
+        assert result.steps == []
+        assert len(processor.database.table("log_t")) == 0
+
+    def test_considered_rules_also_reset(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule counter on t when inserted "
+            "then insert into log_t (select id, v from inserted)",
+            schema,
+        )
+        processor = RuleProcessor(ruleset, Database(schema))
+        processor.execute_user("insert into t values (1, 1)")
+        processor.run()
+        assert len(processor.database.table("log_t")) == 1
+        # A second assertion point with a new insert logs only the new row.
+        processor.execute_user("insert into t values (2, 2)")
+        processor.run()
+        assert sorted(processor.database.table("log_t").value_tuples()) == [
+            (1, 1),
+            (2, 2),
+        ]
+
+    def test_quiescent_run_is_a_noop_assertion_point(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule watch on t when inserted then delete from log_t",
+            schema,
+        )
+        processor = RuleProcessor(ruleset, Database(schema))
+        first = processor.run()
+        second = processor.run()
+        assert first.steps == second.steps == []
+
+    def test_multiple_assertion_points_in_one_transaction(self, schema):
+        """Rollback still restores to the *transaction* start, not the
+        last assertion point."""
+        ruleset = RuleSet.parse(
+            """
+            create rule guard on t when inserted
+            if exists (select * from inserted where v < 0)
+            then rollback 'negative'
+            """,
+            schema,
+        )
+        processor = RuleProcessor(ruleset, Database(schema))
+        processor.begin_transaction()
+        processor.execute_user("insert into t values (1, 5)")
+        assert processor.run().outcome == "quiescent"
+        processor.execute_user("insert into t values (2, -1)")
+        result = processor.run()
+        assert result.outcome == "rolled_back"
+        # Both inserts gone: rollback is transaction-scoped.
+        assert len(processor.database.table("t")) == 0

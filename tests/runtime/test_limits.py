@@ -1,0 +1,97 @@
+"""Budget/limit edge cases across the runtime."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import ExplorationLimitExceeded, RuleProcessingLimitExceeded
+from repro.rules.ruleset import RuleSet
+from repro.runtime.exec_graph import explore
+from repro.runtime.processor import RuleProcessor
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"]})
+
+
+MONOTONE = (
+    "create rule climb on t when inserted, updated(v) "
+    "then update t set v = v + 1"
+)
+
+
+def runaway_processor(schema, max_steps=1_000):
+    ruleset = RuleSet.parse(MONOTONE, schema)
+    processor = RuleProcessor(ruleset, Database(schema), max_steps=max_steps)
+    processor.execute_user("insert into t values (1, 0)")
+    return processor
+
+
+class TestProcessorLimits:
+    def test_limit_is_exact(self, schema):
+        processor = runaway_processor(schema, max_steps=7)
+        with pytest.raises(RuleProcessingLimitExceeded) as excinfo:
+            processor.run()
+        assert excinfo.value.limit == 7
+        # Exactly max_steps considerations happened: the insert plus one
+        # update per consideration with its own update pending.
+        assert processor.log.position == 1 + 7
+
+    def test_exactly_enough_steps_succeeds(self, schema):
+        source = (
+            "create rule climb on t when inserted, updated(v) "
+            "then update t set v = v + 1 where v < 3"
+        )
+        ruleset = RuleSet.parse(source, schema)
+        processor = RuleProcessor(ruleset, Database(schema), max_steps=4)
+        processor.execute_user("insert into t values (1, 0)")
+        result = processor.run()  # 3 effective + 1 condition-false pass
+        assert result.outcome == "quiescent"
+        assert len(result.steps) == 4
+
+
+class TestExplorerLimits:
+    def test_on_limit_raise(self, schema):
+        processor = runaway_processor(schema)
+        with pytest.raises(ExplorationLimitExceeded):
+            explore(processor, max_states=10, max_depth=5, on_limit="raise")
+
+    def test_on_limit_mark_returns_partial_graph(self, schema):
+        processor = runaway_processor(schema)
+        graph = explore(processor, max_states=10, max_depth=5)
+        assert graph.truncated
+        assert not graph.terminates
+        assert graph.observable_streams == set()  # phase 2 skipped
+
+    def test_max_paths_only_truncates_streams(self, schema):
+        source = """
+        create rule wa on t when inserted then select id from t
+        create rule wb on t when inserted then select v from t
+        """
+        ruleset = RuleSet.parse(source, schema)
+        processor = RuleProcessor(ruleset, Database(schema))
+        processor.execute_user("insert into t values (1, 2)")
+        graph = explore(processor, max_paths=1)
+        assert graph.streams_truncated
+        assert not graph.truncated  # the state graph itself is complete
+        assert graph.terminates
+
+
+class TestElementaryCycleLimit:
+    def test_enumeration_stops_at_limit(self, schema):
+        from repro.analysis.derived import DerivedDefinitions
+        from repro.analysis.termination import TriggeringGraph
+
+        # A dense mutually-triggering clique has many elementary cycles.
+        source = "\n".join(
+            f"create rule r{i} on t when inserted, updated(v) "
+            "then update t set v = 0 where v < 0; "
+            "insert into t values (0, 0)"
+            for i in range(4)
+        )
+        ruleset = RuleSet.parse(source, schema)
+        graph = TriggeringGraph(DerivedDefinitions(ruleset))
+        limited = graph.elementary_cycles(limit=3)
+        assert len(limited) == 3
+        assert len(graph.elementary_cycles(limit=1_000)) > 3

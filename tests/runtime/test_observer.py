@@ -1,0 +1,49 @@
+"""Observable action tests."""
+
+from repro.runtime.observer import ObservableAction
+
+
+class TestSelectActions:
+    def test_rows_canonicalized_by_sorting(self):
+        first = ObservableAction.select("r", [(2, "b"), (1, "a")])
+        second = ObservableAction.select("r", [(1, "a"), (2, "b")])
+        assert first == second
+        assert first.payload == ((1, "a"), (2, "b"))
+
+    def test_mixed_type_rows_sort_deterministically(self):
+        action = ObservableAction.select("r", [(None,), (1,), (None,)])
+        assert action.payload == ((None,), (None,), (1,))
+
+    def test_different_rows_differ(self):
+        assert ObservableAction.select("r", [(1,)]) != ObservableAction.select(
+            "r", [(2,)]
+        )
+
+    def test_different_emitting_rules_differ(self):
+        assert ObservableAction.select("a", [(1,)]) != ObservableAction.select(
+            "b", [(1,)]
+        )
+
+    def test_str(self):
+        action = ObservableAction.select("watch", [(1,), (2,)])
+        assert "watch" in str(action)
+        assert "2 rows" in str(action)
+
+
+class TestRollbackActions:
+    def test_message_is_the_payload(self):
+        action = ObservableAction.rollback("guard", "too large")
+        assert action.kind == "rollback"
+        assert action.payload == "too large"
+
+    def test_str(self):
+        action = ObservableAction.rollback("guard", "no")
+        assert "rollback" in str(action)
+        assert "guard" in str(action)
+
+    def test_hashable_for_stream_sets(self):
+        stream = (
+            ObservableAction.select("a", [(1,)]),
+            ObservableAction.rollback("b", "x"),
+        )
+        assert len({stream, stream}) == 1

@@ -1,0 +1,290 @@
+"""Rule processor tests — the Starburst semantics of Section 2."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import RuleProcessingError, RuleProcessingLimitExceeded
+from repro.rules.ruleset import RuleSet
+from repro.runtime.processor import RuleProcessor
+from repro.runtime.strategies import ScriptedStrategy
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "log_t": ["id", "v"]})
+
+
+def processor_for(source, schema, rows=(), strategy=None, max_steps=200):
+    ruleset = RuleSet.parse(source, schema)
+    database = Database(schema)
+    if rows:
+        database.load("t", list(rows))
+    return RuleProcessor(ruleset, database, strategy=strategy, max_steps=max_steps)
+
+
+class TestTriggering:
+    def test_user_insert_triggers_inserted_rule(self, schema):
+        processor = processor_for(
+            "create rule r on t when inserted then insert into log_t values (0, 0)",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 5)")
+        assert processor.triggered_rules() == ("r",)
+
+    def test_untriggered_without_matching_event(self, schema):
+        processor = processor_for(
+            "create rule r on t when deleted then insert into log_t values (0, 0)",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 5)")
+        assert processor.triggered_rules() == ()
+
+    def test_updated_column_granularity(self, schema):
+        processor = processor_for(
+            "create rule r on t when updated(v) "
+            "then insert into log_t values (0, 0)",
+            schema,
+            rows=[(1, 5)],
+        )
+        processor.execute_user("update t set id = 9 where v = 5")
+        assert processor.triggered_rules() == ()
+        processor.execute_user("update t set v = 9")
+        assert processor.triggered_rules() == ("r",)
+
+    def test_net_effect_untriggers(self, schema):
+        # Insert then delete within the same transition: nothing triggers.
+        processor = processor_for(
+            "create rule r on t when inserted "
+            "then insert into log_t values (0, 0)",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 5)")
+        processor.execute_user("delete from t where id = 1")
+        assert processor.triggered_rules() == ()
+
+    def test_identity_composite_update_untriggers(self, schema):
+        processor = processor_for(
+            "create rule r on t when updated(v) "
+            "then insert into log_t values (0, 0)",
+            schema,
+            rows=[(1, 5)],
+        )
+        processor.execute_user("update t set v = 9")
+        processor.execute_user("update t set v = 5")
+        assert processor.triggered_rules() == ()
+
+
+class TestConsideration:
+    def test_condition_false_means_no_action(self, schema):
+        processor = processor_for(
+            "create rule r on t when inserted "
+            "if exists (select * from inserted where v > 100) "
+            "then insert into log_t values (0, 0)",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 5)")
+        outcome = processor.consider("r")
+        assert not outcome.condition_was_true
+        assert len(processor.database.table("log_t")) == 0
+        assert processor.triggered_rules() == ()  # considered, marker moved
+
+    def test_transition_tables_reflect_triggering_transition(self, schema):
+        processor = processor_for(
+            "create rule r on t when inserted "
+            "then insert into log_t (select id, v from inserted)",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 5)")
+        processor.execute_user("insert into t values (2, 6)")
+        processor.consider("r")
+        assert sorted(processor.database.table("log_t").value_tuples()) == [
+            (1, 5),
+            (2, 6),
+        ]
+
+    def test_composite_transition_seen_by_later_rule(self, schema):
+        # After rule a updates the inserted tuple, rule b's `inserted`
+        # transition table shows the composite (updated) insert.
+        processor = processor_for(
+            """
+            create rule a on t when inserted
+            then update t set v = v + 100 where id in (select id from inserted)
+
+            create rule b on t when inserted
+            then insert into log_t (select id, v from inserted)
+            """,
+            schema,
+            strategy=ScriptedStrategy(["a", "b"]),
+        )
+        processor.execute_user("insert into t values (1, 5)")
+        processor.run()
+        assert processor.database.table("log_t").value_tuples() == [(1, 105)]
+
+    def test_rule_can_retrigger_itself(self, schema):
+        processor = processor_for(
+            "create rule r on t when inserted, updated(v) "
+            "if exists (select * from t where v < 3) "
+            "then update t set v = v + 1 where v < 3",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 0)")
+        result = processor.run()
+        assert result.outcome == "quiescent"
+        assert processor.database.table("t").value_tuples() == [(1, 3)]
+        # one initial consideration + one per increment + final false check
+        assert len(result.steps) >= 3
+
+    def test_considering_ineligible_rule_raises(self, schema):
+        processor = processor_for(
+            "create rule r on t when inserted then delete from log_t",
+            schema,
+        )
+        with pytest.raises(RuleProcessingError, match="not eligible"):
+            processor.consider("r")
+
+
+class TestPriorities:
+    RULES = """
+    create rule high on t when inserted
+    then insert into log_t values (1, 0)
+    precedes low
+
+    create rule low on t when inserted
+    then insert into log_t values (2, 0)
+    """
+
+    def test_eligibility_respects_priorities(self, schema):
+        processor = processor_for(self.RULES, schema)
+        processor.execute_user("insert into t values (1, 1)")
+        assert processor.triggered_rules() == ("high", "low")
+        assert processor.eligible_rules() == ("high",)
+
+    def test_run_considers_high_first(self, schema):
+        processor = processor_for(self.RULES, schema)
+        processor.execute_user("insert into t values (1, 1)")
+        result = processor.run()
+        assert result.rules_considered == ["high", "low"]
+
+
+class TestRollback:
+    RULES = """
+    create rule guard on t when inserted
+    if exists (select * from inserted where v < 0)
+    then rollback 'negative v'
+
+    create rule log_rule on t when inserted
+    then insert into log_t (select id, v from inserted)
+    follows guard
+    """
+
+    def test_rollback_restores_pre_transaction_state(self, schema):
+        processor = processor_for(self.RULES, schema, rows=[(1, 10)])
+        processor.begin_transaction()
+        processor.execute_user("insert into t values (2, -5)")
+        result = processor.run()
+        assert result.outcome == "rolled_back"
+        assert processor.database.table("t").value_tuples() == [(1, 10)]
+        assert len(processor.database.table("log_t")) == 0
+
+    def test_rollback_is_observable(self, schema):
+        processor = processor_for(self.RULES, schema)
+        processor.execute_user("insert into t values (2, -5)")
+        result = processor.run()
+        assert len(result.observables) == 1
+        assert result.observables[0].kind == "rollback"
+        assert result.observables[0].payload == "negative v"
+
+    def test_no_rollback_when_condition_false(self, schema):
+        processor = processor_for(self.RULES, schema)
+        processor.execute_user("insert into t values (2, 5)")
+        result = processor.run()
+        assert result.outcome == "quiescent"
+        assert processor.database.table("log_t").value_tuples() == [(2, 5)]
+
+    def test_user_operations_rejected_after_rollback(self, schema):
+        processor = processor_for(self.RULES, schema)
+        processor.execute_user("insert into t values (2, -5)")
+        processor.run()
+        with pytest.raises(RuleProcessingError, match="rolled back"):
+            processor.execute_user("insert into t values (3, 1)")
+
+
+class TestObservables:
+    def test_select_action_recorded(self, schema):
+        processor = processor_for(
+            "create rule r on t when inserted then select id, v from t",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 5)")
+        result = processor.run()
+        assert len(result.observables) == 1
+        action = result.observables[0]
+        assert action.kind == "select"
+        assert action.payload == ((1, 5),)
+
+
+class TestRunLoop:
+    def test_quiescent_with_no_rules_triggered(self, schema):
+        processor = processor_for(
+            "create rule r on t when deleted then insert into log_t values (0, 0)",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 1)")
+        result = processor.run()
+        assert result.outcome == "quiescent"
+        assert result.steps == []
+
+    def test_nontermination_hits_step_limit(self, schema):
+        processor = processor_for(
+            "create rule r on t when inserted, updated(v) "
+            "then update t set v = v + 1",
+            schema,
+            max_steps=25,
+        )
+        processor.execute_user("insert into t values (1, 0)")
+        with pytest.raises(RuleProcessingLimitExceeded):
+            processor.run()
+
+
+class TestForkAndStateKey:
+    def test_fork_is_independent(self, schema):
+        processor = processor_for(
+            "create rule r on t when inserted "
+            "then insert into log_t (select id, v from inserted)",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 5)")
+        fork = processor.fork()
+        fork.consider("r")
+        assert len(processor.database.table("log_t")) == 0
+        assert len(fork.database.table("log_t")) == 1
+        assert processor.triggered_rules() == ("r",)
+        assert fork.triggered_rules() == ()
+
+    def test_state_key_equal_for_forks(self, schema):
+        processor = processor_for(
+            "create rule r on t when inserted then delete from log_t",
+            schema,
+        )
+        processor.execute_user("insert into t values (1, 5)")
+        assert processor.fork().state_key() == processor.state_key()
+
+    def test_state_key_distinguishes_pending_transitions(self, schema):
+        first = processor_for(
+            "create rule r on t when deleted then insert into log_t values (0,0)",
+            schema,
+            rows=[(1, 5)],
+        )
+        second = first.fork()
+        first.execute_user("update t set v = 9")
+        # Same database content difference, different pending transitions.
+        assert first.state_key() != second.state_key()
+
+    def test_schema_mismatch_rejected(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule r on t when inserted then delete from log_t", schema
+        )
+        other_schema = schema_from_spec({"t": ["id", "v"], "log_t": ["id", "v"]})
+        with pytest.raises(RuleProcessingError, match="different schemas"):
+            RuleProcessor(ruleset, Database(other_schema))

@@ -1,0 +1,55 @@
+"""Rule-choice strategy tests."""
+
+import pytest
+
+from repro.errors import RuleProcessingError
+from repro.runtime.strategies import (
+    FirstEligibleStrategy,
+    RandomStrategy,
+    ScriptedStrategy,
+)
+
+
+class TestFirstEligible:
+    def test_picks_first(self):
+        assert FirstEligibleStrategy().choose(("a", "b")) == "a"
+
+    def test_empty_raises(self):
+        with pytest.raises(RuleProcessingError):
+            FirstEligibleStrategy().choose(())
+
+
+class TestRandom:
+    def test_seeded_runs_are_reproducible(self):
+        picks_one = [RandomStrategy(7).choose(("a", "b", "c")) for _ in range(5)]
+        picks_two = [RandomStrategy(7).choose(("a", "b", "c")) for _ in range(5)]
+        assert picks_one == picks_two
+
+    def test_stays_within_eligible(self):
+        strategy = RandomStrategy(3)
+        for __ in range(20):
+            assert strategy.choose(("x", "y")) in ("x", "y")
+
+    def test_empty_raises(self):
+        with pytest.raises(RuleProcessingError):
+            RandomStrategy().choose(())
+
+
+class TestScripted:
+    def test_follows_script(self):
+        strategy = ScriptedStrategy(["b", "a"])
+        assert strategy.choose(("a", "b")) == "b"
+        assert strategy.choose(("a",)) == "a"
+
+    def test_script_exhausted_falls_back_to_first(self):
+        strategy = ScriptedStrategy(["b"])
+        strategy.choose(("a", "b"))
+        assert strategy.choose(("a", "c")) == "a"
+
+    def test_script_divergence_raises(self):
+        strategy = ScriptedStrategy(["z"])
+        with pytest.raises(RuleProcessingError, match="not eligible"):
+            strategy.choose(("a", "b"))
+
+    def test_script_names_lowercased(self):
+        assert ScriptedStrategy(["B"]).choose(("a", "b")) == "b"

@@ -1,0 +1,117 @@
+"""Processing-trace tests."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.runtime.processor import RuleProcessor
+from repro.runtime.trace import render_trace, summarize_net_effect, trace_run
+from repro.schema.catalog import schema_from_spec
+from repro.transitions.delta import DeltaLog
+from repro.transitions.net_effect import NetEffect
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "log_t": ["id", "v"]})
+
+
+def traced(source, schema, statements, rows=()):
+    ruleset = RuleSet.parse(source, schema)
+    database = Database(schema)
+    if rows:
+        database.load("t", list(rows))
+    processor = RuleProcessor(ruleset, database)
+    for statement in statements:
+        processor.execute_user(statement)
+    return trace_run(processor)
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize_net_effect(NetEffect.from_primitives([])) == "(empty)"
+
+    def test_counts(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1, 1))
+        log.record_insert("t", 2, (2, 2))
+        log.record_delete("t", 3, (3, 3))
+        log.record_update("u", 4, (4,), (5,))
+        summary = summarize_net_effect(NetEffect.from_primitives(log.all()))
+        assert "t(+2 -1)" in summary
+        assert "u(~1)" in summary
+
+
+class TestTraceRun:
+    def test_trace_matches_run_result(self, schema):
+        source = (
+            "create rule r on t when inserted "
+            "then insert into log_t (select id, v from inserted)"
+        )
+        result, events = traced(
+            source, schema, ["insert into t values (1, 2)"]
+        )
+        assert result.outcome == "quiescent"
+        assert [e.rule for e in events if e.kind == "consider"] == ["r"]
+        assert events[-1].kind == "quiescent"
+
+    def test_trace_records_transition_summary(self, schema):
+        source = (
+            "create rule r on t when inserted then delete from log_t"
+        )
+        __, events = traced(source, schema, ["insert into t values (1, 2)"])
+        consider = events[0]
+        assert consider.transition_summary == "t(+1)"
+
+    def test_trace_records_false_condition(self, schema):
+        source = (
+            "create rule r on t when inserted "
+            "if exists (select * from inserted where v > 99) "
+            "then delete from log_t"
+        )
+        __, events = traced(source, schema, ["insert into t values (1, 2)"])
+        assert events[0].condition_was_true is False
+        assert events[0].operations_performed == 0
+
+    def test_trace_records_rollback(self, schema):
+        source = "create rule guard on t when inserted then rollback 'no'"
+        result, events = traced(
+            source, schema, ["insert into t values (1, 2)"]
+        )
+        assert result.outcome == "rolled_back"
+        assert events[0].kind == "rollback"
+        assert events[-1].kind == "rolled_back"
+
+    def test_trace_records_observables(self, schema):
+        source = "create rule watch on t when inserted then select v from t"
+        __, events = traced(source, schema, ["insert into t values (1, 2)"])
+        assert events[0].observables
+        assert "watch" in events[0].observables[0]
+
+    def test_trace_advances_assertion_point_markers(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule watch on t when updated(v) then delete from log_t",
+            schema,
+        )
+        processor = RuleProcessor(ruleset, Database(schema))
+        processor.execute_user("insert into t values (1, 5)")
+        trace_run(processor)
+        processor.execute_user("update t set v = 9")
+        result, __ = trace_run(processor)
+        assert result.rules_considered == ["watch"]
+
+
+class TestRender:
+    def test_render_contains_all_steps(self, schema):
+        source = """
+        create rule a on t when inserted
+        then update t set v = v + 1 where id in (select id from inserted)
+        precedes b
+        create rule b on t when inserted then select v from t
+        """
+        __, events = traced(source, schema, ["insert into t values (1, 0)"])
+        text = render_trace(events)
+        assert "[0] consider a" in text
+        assert "consider b" in text
+        assert "observable:" in text
+        assert "quiescent" in text

@@ -1,0 +1,112 @@
+"""Schema catalog tests."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.catalog import (
+    ColumnDef,
+    ColumnType,
+    Schema,
+    TableDef,
+    schema_from_spec,
+)
+
+
+class TestColumnType:
+    def test_int_accepts_integers_only(self):
+        assert ColumnType.INT.accepts(5)
+        assert not ColumnType.INT.accepts(5.0)
+        assert not ColumnType.INT.accepts(True)
+        assert not ColumnType.INT.accepts("5")
+
+    def test_float_accepts_ints_and_floats(self):
+        assert ColumnType.FLOAT.accepts(5)
+        assert ColumnType.FLOAT.accepts(5.5)
+        assert not ColumnType.FLOAT.accepts(True)
+
+    def test_string_and_bool(self):
+        assert ColumnType.STRING.accepts("x")
+        assert not ColumnType.STRING.accepts(1)
+        assert ColumnType.BOOL.accepts(False)
+        assert not ColumnType.BOOL.accepts(0)
+
+    def test_every_type_accepts_null(self):
+        for column_type in ColumnType:
+            assert column_type.accepts(None)
+
+
+class TestTableDef:
+    def test_columns_keep_order(self):
+        table = TableDef("t", [ColumnDef("b"), ColumnDef("a")])
+        assert table.column_names == ("b", "a")
+
+    def test_add_column_by_name_defaults_to_int(self):
+        table = TableDef("t")
+        column = table.add_column("v")
+        assert column.type is ColumnType.INT
+
+    def test_duplicate_column_rejected(self):
+        table = TableDef("t", [ColumnDef("a")])
+        with pytest.raises(SchemaError, match="duplicate column"):
+            table.add_column("A")  # case-insensitive
+
+    def test_column_lookup_case_insensitive(self):
+        table = TableDef("t", [ColumnDef("Salary")])
+        assert table.column("SALARY").name == "salary"
+        assert table.has_column("salary")
+        assert table.column_index("Salary") == 0
+
+    def test_unknown_column_raises(self):
+        table = TableDef("t")
+        with pytest.raises(SchemaError, match="no column"):
+            table.column("missing")
+        with pytest.raises(SchemaError, match="no column"):
+            table.column_index("missing")
+
+    def test_len(self):
+        assert len(TableDef("t", [ColumnDef("a"), ColumnDef("b")])) == 2
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema()
+        schema.add_table("emp", ["id"])
+        assert schema.has_table("EMP")
+        assert schema.table("emp").column_names == ("id",)
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema()
+        schema.add_table("t")
+        with pytest.raises(SchemaError, match="duplicate table"):
+            schema.add_table("T")
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SchemaError, match="unknown table"):
+            Schema().table("ghost")
+
+    def test_table_names_is_the_set_T(self):
+        schema = schema_from_spec({"a": ["x"], "b": ["y"]})
+        assert schema.table_names == ("a", "b")
+
+    def test_columns_is_the_set_C(self):
+        schema = schema_from_spec({"a": ["x", "y"], "b": ["z"]})
+        assert schema.columns() == (("a", "x"), ("a", "y"), ("b", "z"))
+
+    def test_iteration_and_len(self):
+        schema = schema_from_spec({"a": ["x"], "b": ["y"]})
+        assert len(schema) == 2
+        assert [table.name for table in schema] == ["a", "b"]
+
+
+class TestSchemaFromSpec:
+    def test_typed_columns(self):
+        schema = schema_from_spec({"t": ["id", "name:string", "ok:bool", "w:float"]})
+        table = schema.table("t")
+        assert table.column("id").type is ColumnType.INT
+        assert table.column("name").type is ColumnType.STRING
+        assert table.column("ok").type is ColumnType.BOOL
+        assert table.column("w").type is ColumnType.FLOAT
+
+    def test_whitespace_tolerated(self):
+        schema = schema_from_spec({"t": [" id ", " name : string "]})
+        assert schema.table("t").column_names == ("id", "name")

@@ -1,0 +1,237 @@
+"""CLI tests for starburst-analyze."""
+
+import pytest
+
+from repro.cli import load_schema, main
+
+SCHEMA = """
+# employee schema
+t: id, v
+u: id, w
+"""
+
+CLEAN_RULES = """
+create rule a on t when inserted then update u set w = 0
+"""
+
+CONFLICTING_RULES = """
+create rule a on t when inserted then update u set w = 0
+create rule b on t when inserted then update u set w = 1
+"""
+
+LOOPING_RULES = """
+create rule loop on t when inserted, updated(v)
+then update t set v = 0 where v < 0
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    def write(name, content):
+        path = tmp_path / name
+        path.write_text(content)
+        return str(path)
+
+    return write
+
+
+class TestLoadSchema:
+    def test_parses_tables_and_comments(self, files):
+        schema = load_schema(files("schema.txt", SCHEMA))
+        assert schema.table_names == ("t", "u")
+        assert schema.table("t").column_names == ("id", "v")
+
+
+class TestExitCodes:
+    def test_clean_rule_set_exits_zero(self, files, capsys):
+        code = main(
+            [files("r.txt", CLEAN_RULES), "--schema", files("s.txt", SCHEMA)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "termination guaranteed" in out
+
+    def test_conflicting_rules_exit_one(self, files, capsys):
+        code = main(
+            [
+                files("r.txt", CONFLICTING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+            ]
+        )
+        assert code == 1
+        assert "may not be confluent" in capsys.readouterr().out
+
+    def test_parse_error_exits_two(self, files, capsys):
+        code = main(
+            [files("r.txt", "create rule broken"), "--schema", files("s.txt", SCHEMA)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOptions:
+    def test_verbose_shows_violations_and_suggestions(self, files, capsys):
+        main(
+            [
+                files("r.txt", CONFLICTING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--verbose",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "confluence violations" in out
+        assert "suggestions" in out
+
+    def test_verbose_shows_cycles(self, files, capsys):
+        main(
+            [
+                files("r.txt", LOOPING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--verbose",
+            ]
+        )
+        assert "cycles" in capsys.readouterr().out
+
+    def test_certify_commutes_option(self, files, capsys):
+        code = main(
+            [
+                files("r.txt", CONFLICTING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--certify-commutes",
+                "a,b",
+            ]
+        )
+        assert code == 0
+
+    def test_order_option(self, files):
+        code = main(
+            [
+                files("r.txt", CONFLICTING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--order",
+                "a,b",
+            ]
+        )
+        assert code == 0
+
+    def test_certify_termination_option(self, files):
+        code = main(
+            [
+                files("r.txt", LOOPING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--certify-termination",
+                "loop",
+            ]
+        )
+        assert code == 0
+
+    def test_partial_confluence_option(self, files, capsys):
+        code = main(
+            [
+                files("r.txt", CONFLICTING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--tables",
+                "t",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "partial confluence" in out
+        assert "confluent with respect to {t}" in out
+        assert code == 1  # overall confluence still fails
+
+
+DATA = """
+# stock levels
+u: (1, 3), (2, 0)
+"""
+
+RUNNABLE_RULES = """
+create rule bump on t when inserted
+then update u set w = w + 1 where id in (select id from inserted)
+"""
+
+OBSERVABLE_RULES = """
+create rule watch on t when inserted then select * from u
+"""
+
+
+class TestRunMode:
+    def test_load_data(self, files):
+        from repro.cli import load_data, load_schema
+
+        schema = load_schema(files("s.txt", SCHEMA))
+        database = load_data(files("d.txt", DATA), schema)
+        assert database.table("u").value_tuples() == [(1, 3), (2, 0)]
+
+    def test_run_prints_trace_and_final_state(self, files, capsys):
+        code = main(
+            [
+                files("r.txt", RUNNABLE_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--data",
+                files("d.txt", DATA),
+                "--run",
+                "insert into t values (1, 9)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rule processing trace" in out
+        assert "consider bump" in out
+        assert "outcome: quiescent" in out
+        assert "(1, 4)" in out  # u row 1 bumped from 3 to 4
+
+    def test_explore_reports_instance_behavior(self, files, capsys):
+        main(
+            [
+                files("r.txt", OBSERVABLE_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--run",
+                "insert into t values (1, 1)",
+                "--explore",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "execution-graph exploration" in out
+        assert "terminates:          True" in out
+        assert "observable streams:  1" in out
+
+    def test_bad_run_statement_exits_two(self, files, capsys):
+        code = main(
+            [
+                files("r.txt", RUNNABLE_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--run",
+                "insert into ghost values (1)",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDotFlag:
+    def test_dot_written(self, files, tmp_path, capsys):
+        out_file = tmp_path / "graph.dot"
+        main(
+            [
+                files("r.txt", LOOPING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--dot",
+                str(out_file),
+            ]
+        )
+        assert "triggering graph written" in capsys.readouterr().out
+        content = out_file.read_text()
+        assert content.startswith("digraph triggering_graph {")
+        assert "lightcoral" in content  # the loop is highlighted

@@ -1,0 +1,76 @@
+"""Delta log tests."""
+
+import pytest
+
+from repro.transitions.delta import DeltaLog, Primitive
+
+
+class TestPrimitiveValidation:
+    def test_insert_shape(self):
+        Primitive(0, "I", "t", 1, None, (1,))
+        with pytest.raises(ValueError):
+            Primitive(0, "I", "t", 1, (1,), (1,))
+        with pytest.raises(ValueError):
+            Primitive(0, "I", "t", 1, None, None)
+
+    def test_delete_shape(self):
+        Primitive(0, "D", "t", 1, (1,), None)
+        with pytest.raises(ValueError):
+            Primitive(0, "D", "t", 1, None, (1,))
+
+    def test_update_shape(self):
+        Primitive(0, "U", "t", 1, (1,), (2,))
+        with pytest.raises(ValueError):
+            Primitive(0, "U", "t", 1, (1,), None)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="bad primitive kind"):
+            Primitive(0, "X", "t", 1, None, (1,))
+
+
+class TestDeltaLog:
+    def test_positions_advance(self):
+        log = DeltaLog()
+        assert log.position == 0
+        log.record_insert("t", 1, (1,))
+        assert log.position == 1
+        log.record_delete("t", 1, (1,))
+        assert log.position == 2
+
+    def test_since_returns_suffix(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        marker = log.position
+        log.record_insert("t", 2, (2,))
+        suffix = log.since(marker)
+        assert len(suffix) == 1
+        assert suffix[0].tid == 2
+
+    def test_since_zero_is_everything(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        assert log.since(0) == log.all()
+
+    def test_negative_marker_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaLog().since(-1)
+
+    def test_sequence_numbers_are_consecutive(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        log.record_update("t", 1, (1,), (2,))
+        assert [p.seq for p in log.all()] == [0, 1]
+
+    def test_table_names_lowercased(self):
+        log = DeltaLog()
+        primitive = log.record_insert("T", 1, (1,))
+        assert primitive.table == "t"
+
+    def test_truncate(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        position = log.position
+        log.record_insert("t", 2, (2,))
+        log.truncate(position)
+        assert log.position == position
+        assert [p.tid for p in log.all()] == [1]

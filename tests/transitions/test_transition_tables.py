@@ -1,0 +1,60 @@
+"""Transition table materialization tests."""
+
+from repro.transitions.delta import DeltaLog
+from repro.transitions.net_effect import NetEffect
+from repro.transitions.transition_tables import (
+    TRANSITION_TABLES,
+    transition_table_overlays,
+)
+
+COLUMNS = ("id", "v")
+
+
+def overlays_for(log: DeltaLog, table: str = "t"):
+    net = NetEffect.from_primitives(log.all())
+    return transition_table_overlays(net, table, COLUMNS)
+
+
+class TestOverlays:
+    def test_all_four_tables_always_present(self):
+        overlays = overlays_for(DeltaLog())
+        assert set(overlays) == set(TRANSITION_TABLES)
+        for columns, rows in overlays.values():
+            assert columns == COLUMNS
+            assert rows == []
+
+    def test_inserted_rows(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1, 10))
+        log.record_insert("t", 2, (2, 20))
+        overlays = overlays_for(log)
+        assert overlays["inserted"][1] == [(1, 10), (2, 20)]
+        assert overlays["deleted"][1] == []
+
+    def test_deleted_rows_show_old_values(self):
+        log = DeltaLog()
+        log.record_delete("t", 1, (1, 10))
+        overlays = overlays_for(log)
+        assert overlays["deleted"][1] == [(1, 10)]
+
+    def test_updated_rows_align_old_and_new(self):
+        log = DeltaLog()
+        log.record_update("t", 1, (1, 10), (1, 99))
+        log.record_update("t", 2, (2, 20), (2, 88))
+        overlays = overlays_for(log)
+        assert overlays["old_updated"][1] == [(1, 10), (2, 20)]
+        assert overlays["new_updated"][1] == [(1, 99), (2, 88)]
+
+    def test_composite_insert_update_appears_in_inserted(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1, 10))
+        log.record_update("t", 1, (1, 10), (1, 99))
+        overlays = overlays_for(log)
+        assert overlays["inserted"][1] == [(1, 99)]
+        assert overlays["new_updated"][1] == []
+
+    def test_other_tables_changes_excluded(self):
+        log = DeltaLog()
+        log.record_insert("other", 1, (1, 10))
+        overlays = overlays_for(log, table="t")
+        assert overlays["inserted"][1] == []

@@ -1,0 +1,98 @@
+"""Lemma 4.1 edge-property tests (Experiment E11)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.runtime.processor import RuleProcessor
+from repro.schema.catalog import schema_from_spec
+from repro.validate.execution_model import check_execution_edges
+from repro.workloads.applications import inventory_application
+from repro.workloads.generator import (
+    GeneratorConfig,
+    RandomInstanceGenerator,
+    RandomRuleSetGenerator,
+)
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"]})
+
+
+def processor_with(source, schema, statements, rows=()):
+    ruleset = RuleSet.parse(source, schema)
+    database = Database(schema)
+    if rows:
+        database.load("t", list(rows))
+    processor = RuleProcessor(ruleset, database)
+    for statement in statements:
+        processor.execute_user(statement)
+    return processor
+
+
+class TestEdgeProperties:
+    def test_simple_chain(self, schema):
+        processor = processor_with(
+            """
+            create rule a on t when inserted then insert into u values (1, 1)
+            create rule b on u when inserted then update u set w = 9
+            """,
+            schema,
+            ["insert into t values (1, 1)"],
+        )
+        report = check_execution_edges(processor)
+        assert report.edges_checked > 0
+        assert report.holds, report.violations
+
+    def test_untriggering_edge(self, schema):
+        # killer deletes the tuples that would keep victim triggered.
+        processor = processor_with(
+            """
+            create rule killer on t when inserted
+            then delete from t where id in (select id from inserted)
+
+            create rule victim on t when inserted
+            then update u set w = 1
+            """,
+            schema,
+            ["insert into t values (1, 1)"],
+        )
+        report = check_execution_edges(processor)
+        assert report.holds, report.violations
+
+    def test_rollback_edges(self, schema):
+        processor = processor_with(
+            """
+            create rule guard on t when inserted then rollback 'no'
+            create rule other on t when inserted then update u set w = 1
+            """,
+            schema,
+            ["insert into t values (1, 1)"],
+        )
+        report = check_execution_edges(processor)
+        assert report.holds, report.violations
+
+    def test_inventory_application_edges(self):
+        app = inventory_application()
+        processor = RuleProcessor(app.ruleset, app.database.copy())
+        for statement in app.transition:
+            processor.execute_user(statement)
+        report = check_execution_edges(processor)
+        assert report.edges_checked >= 50
+        assert report.holds, report.violations[:5]
+
+    def test_random_rule_sets_hold(self):
+        config = GeneratorConfig(
+            n_tables=2, n_columns=2, n_rules=4, rows_per_table=2
+        )
+        for seed in range(8):
+            ruleset = RandomRuleSetGenerator(config, seed=seed).generate()
+            generator = RandomInstanceGenerator(config)
+            database = generator.generate_database(ruleset.schema, seed=seed)
+            statements = generator.generate_transition(ruleset.schema, seed=seed)
+            processor = RuleProcessor(ruleset, database)
+            for statement in statements:
+                processor.execute_user(statement)
+            report = check_execution_edges(processor, max_states=120)
+            assert report.holds, (seed, report.violations[:3])

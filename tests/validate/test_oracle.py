@@ -1,0 +1,99 @@
+"""Oracle wrapper tests."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+from repro.validate.oracle import oracle_partial_confluence, oracle_verdict
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"]})
+
+
+class TestOracleVerdict:
+    def test_decided_clean_instance(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule r on t when inserted then update u set w = 0",
+            schema,
+        )
+        verdict = oracle_verdict(
+            ruleset, Database(schema), ["insert into t values (1, 1)"]
+        )
+        assert verdict.decided
+        assert verdict.terminates
+        assert verdict.confluent
+        assert verdict.observably_deterministic
+
+    def test_truncated_instance_is_undecided(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule r on t when inserted, updated(v) "
+            "then update t set v = v + 1",
+            schema,
+        )
+        verdict = oracle_verdict(
+            ruleset,
+            Database(schema),
+            ["insert into t values (1, 0)"],
+            max_states=20,
+            max_depth=10,
+        )
+        assert not verdict.decided
+        assert verdict.terminates is None
+
+    def test_caller_database_not_mutated(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule r on t when inserted then update u set w = 0",
+            schema,
+        )
+        database = Database(schema)
+        oracle_verdict(ruleset, database, ["insert into t values (1, 1)"])
+        assert len(database.table("t")) == 0
+
+    def test_divergent_instance(self, schema):
+        source = """
+        create rule a on t when inserted
+        then update t set v = v * 2 where id in (select id from inserted)
+        create rule b on t when inserted
+        then update t set v = v + 10 where id in (select id from inserted)
+        """
+        ruleset = RuleSet.parse(source, schema)
+        verdict = oracle_verdict(
+            ruleset, Database(schema), ["insert into t values (1, 5)"]
+        )
+        assert verdict.terminates
+        assert not verdict.confluent
+
+
+class TestPartialOracle:
+    def test_projection_agreement(self, schema):
+        source = """
+        create rule a on t when inserted then update u set w = 1
+        create rule b on t when inserted then update u set w = 2
+        """
+        ruleset = RuleSet.parse(source, schema)
+        database = Database(schema)
+        database.load("u", [(1, 0)])
+        statements = ["insert into t values (1, 1)"]
+        assert not oracle_partial_confluence(
+            ruleset, database, statements, ["u"]
+        )
+        assert oracle_partial_confluence(ruleset, database, statements, ["t"])
+
+    def test_undecidable_returns_none(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule r on t when inserted, updated(v) "
+            "then update t set v = v + 1",
+            schema,
+        )
+        result = oracle_partial_confluence(
+            ruleset,
+            Database(schema),
+            ["insert into t values (1, 0)"],
+            ["t"],
+            max_states=20,
+            max_depth=10,
+        )
+        assert result is None

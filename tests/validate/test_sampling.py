@@ -1,0 +1,117 @@
+"""Monte-Carlo sampler tests."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+from repro.validate.oracle import oracle_verdict
+from repro.validate.sampling import sample_runs
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"]})
+
+
+DIVERGENT = """
+create rule a on t when inserted
+then update t set v = v * 2 where id in (select id from inserted)
+create rule b on t when inserted
+then update t set v = v + 10 where id in (select id from inserted)
+"""
+
+
+class TestSampling:
+    def test_confluent_instance_yields_one_state(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule a on t when inserted then update u set w = 0",
+            schema,
+        )
+        report = sample_runs(
+            ruleset, Database(schema), ["insert into t values (1, 1)"], runs=10
+        )
+        assert report.all_terminated
+        assert len(report.final_databases) == 1
+        assert not report.confluence_refuted
+
+    def test_divergent_instance_is_refuted(self, schema):
+        ruleset = RuleSet.parse(DIVERGENT, schema)
+        report = sample_runs(
+            ruleset,
+            Database(schema),
+            ["insert into t values (1, 5)"],
+            runs=30,
+            seed=3,
+        )
+        assert report.confluence_refuted
+
+    def test_sampled_states_subset_of_oracle_states(self, schema):
+        ruleset = RuleSet.parse(DIVERGENT, schema)
+        database = Database(schema)
+        statements = ["insert into t values (1, 5)"]
+        oracle = oracle_verdict(ruleset, database, statements)
+        sampled = sample_runs(ruleset, database, statements, runs=20, seed=1)
+        assert sampled.final_databases <= set(
+            oracle.graph.final_databases.values()
+        )
+
+    def test_nontermination_counted_as_exhausted(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule loop on t when inserted, updated(v) "
+            "then update t set v = v + 1",
+            schema,
+        )
+        report = sample_runs(
+            ruleset,
+            Database(schema),
+            ["insert into t values (1, 0)"],
+            runs=3,
+            max_steps=30,
+        )
+        assert report.exhausted == 3
+        assert not report.all_terminated
+        assert report.final_databases == set()
+
+    def test_rollback_counted(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule guard on t when inserted then rollback 'no'",
+            schema,
+        )
+        report = sample_runs(
+            ruleset, Database(schema), ["insert into t values (1, 1)"], runs=4
+        )
+        assert report.rolled_back == 4
+
+    def test_observable_stream_divergence_refuted(self, schema):
+        source = """
+        create rule wa on t when inserted then select id from t
+        create rule wb on t when inserted then select v from t
+        """
+        ruleset = RuleSet.parse(source, schema)
+        report = sample_runs(
+            ruleset,
+            Database(schema),
+            ["insert into t values (1, 2)"],
+            runs=30,
+            seed=5,
+        )
+        assert report.observable_determinism_refuted
+
+    def test_caller_database_untouched(self, schema):
+        ruleset = RuleSet.parse(DIVERGENT, schema)
+        database = Database(schema)
+        sample_runs(ruleset, database, ["insert into t values (1, 5)"], runs=3)
+        assert len(database.table("t")) == 0
+
+    def test_deterministic_given_seed(self, schema):
+        ruleset = RuleSet.parse(DIVERGENT, schema)
+        first = sample_runs(
+            ruleset, Database(schema), ["insert into t values (1, 5)"],
+            runs=10, seed=7,
+        )
+        second = sample_runs(
+            ruleset, Database(schema), ["insert into t values (1, 5)"],
+            runs=10, seed=7,
+        )
+        assert first.final_databases == second.final_databases

@@ -1,0 +1,96 @@
+"""Soundness harness tests + the central property-based soundness sweep."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+from repro.validate.soundness import check_soundness
+from repro.workloads.generator import (
+    GeneratorConfig,
+    RandomInstanceGenerator,
+    RandomRuleSetGenerator,
+)
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "u": ["id", "w"]})
+
+
+class TestHarness:
+    def test_confirmations_counted(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule r on t when inserted then update u set w = 0",
+            schema,
+        )
+        report = check_soundness(
+            ruleset,
+            [(Database(schema), ["insert into t values (1, 1)"])],
+        )
+        assert report.sound
+        assert report.confirmations.get("termination") == 1
+        assert report.confirmations.get("confluence") == 1
+
+    def test_false_alarm_counted(self, schema):
+        # Statically non-confluent, but both orders reach the same state
+        # on this instance (u is empty, updates are no-ops).
+        source = """
+        create rule a on t when inserted then update u set w = 1
+        create rule b on t when inserted then update u set w = 2
+        """
+        ruleset = RuleSet.parse(source, schema)
+        report = check_soundness(
+            ruleset,
+            [(Database(schema), ["insert into t values (1, 1)"])],
+        )
+        assert report.sound
+        assert report.false_alarms.get("confluence") == 1
+
+    def test_undecided_instances_skipped(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule r on t when inserted, updated(v) "
+            "then update t set v = v + 1",
+            schema,
+        )
+        report = check_soundness(
+            ruleset,
+            [(Database(schema), ["insert into t values (1, 0)"])],
+            oracle_kwargs=dict(max_states=20, max_depth=10),
+        )
+        assert report.undecided == 1
+        assert report.sound
+
+
+class TestPropertyBasedSoundness:
+    """The central conservative-analysis property: over random rule sets
+    and instances, a static guarantee is never refuted by the oracle."""
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_static_guarantees_never_refuted(self, seed):
+        config = GeneratorConfig(
+            n_tables=2,
+            n_columns=2,
+            n_rules=4,
+            p_priority=0.25,
+            p_observable=0.2,
+            rows_per_table=2,
+            statements_per_transition=1,
+        )
+        ruleset = RandomRuleSetGenerator(config, seed=seed).generate()
+        instances = RandomInstanceGenerator(config).generate_instances(
+            ruleset.schema, count=2, seed=seed
+        )
+        report = check_soundness(
+            ruleset,
+            instances,
+            oracle_kwargs=dict(max_states=250, max_depth=60, max_paths=3000),
+        )
+        assert report.sound, [str(v) for v in report.violations]

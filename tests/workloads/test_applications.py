@@ -1,0 +1,108 @@
+"""Sample application tests: each app exhibits its designed behavior,
+statically and at runtime."""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.validate.oracle import oracle_partial_confluence, oracle_verdict
+from repro.workloads.applications import (
+    audit_application,
+    inventory_application,
+    scratch_table_application,
+)
+
+
+class TestInventory:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return inventory_application()
+
+    def test_initially_non_confluent_statically(self, app):
+        report = RuleAnalyzer(app.ruleset).analyze()
+        assert not report.confluent
+
+    def test_oracle_terminates_and_converges(self, app):
+        verdict = oracle_verdict(app.ruleset, app.database, app.transition)
+        assert verdict.terminates
+        assert verdict.confluent  # a conservative false alarm statically
+
+    def test_repair_loop_reaches_confluence(self, app):
+        analyzer = RuleAnalyzer(app.ruleset.subset(app.ruleset.names))
+        analyzer.certify_termination("refill_stock")
+        analysis, actions = analyzer.repair_confluence()
+        assert analysis.requirement_holds
+        assert actions  # it took work
+        assert analyzer.analyze().confluent
+
+    def test_backorder_flow(self, app):
+        from repro.runtime.processor import RuleProcessor
+
+        processor = RuleProcessor(app.ruleset, app.database.copy())
+        processor.execute_user("insert into orders values (100, 1)")
+        processor.run()
+        stock = dict(processor.database.table("stock").value_tuples())
+        assert stock[1] >= 0  # refilled
+
+
+class TestAudit:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return audit_application()
+
+    def test_confluent_but_not_observably_deterministic(self, app):
+        report = RuleAnalyzer(app.ruleset).analyze()
+        assert report.confluent
+        assert not report.observably_deterministic
+
+    def test_oracle_agrees(self, app):
+        verdict = oracle_verdict(app.ruleset, app.database, app.transition)
+        assert verdict.terminates
+        assert verdict.confluent
+        assert verdict.observably_deterministic is False
+        assert len(verdict.graph.observable_streams) == 2
+
+    def test_ordering_the_reports_fixes_it(self, app):
+        analyzer = RuleAnalyzer(app.ruleset.subset(app.ruleset.names))
+        analyzer.add_priority("report_negative", "report_total")
+        report = analyzer.analyze()
+        assert report.observably_deterministic
+
+
+class TestScratch:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return scratch_table_application()
+
+    def test_not_confluent_but_observably_deterministic(self, app):
+        report = RuleAnalyzer(app.ruleset).analyze()
+        assert not report.confluent
+        assert report.observably_deterministic  # no observable rules
+
+    def test_partially_confluent_for_data_tables(self, app):
+        analyzer = RuleAnalyzer(app.ruleset)
+        analysis = analyzer.analyze_partial_confluence(app.important_tables)
+        assert analysis.confluent_with_respect_to_tables
+        assert analysis.significant == frozenset({"maintain_total"})
+
+    def test_oracle_shows_scratch_divergence_and_data_agreement(self, app):
+        verdict = oracle_verdict(app.ruleset, app.database, app.transition)
+        assert verdict.terminates
+        assert not verdict.confluent
+        assert oracle_partial_confluence(
+            app.ruleset, app.database, app.transition, list(app.important_tables)
+        )
+        assert not oracle_partial_confluence(
+            app.ruleset, app.database, app.transition, ["scratch"]
+        )
+
+
+class TestOrthogonality:
+    """The paper's remark: confluence and observable determinism are
+    orthogonal — all four combinations exist. Audit (OD no, confluent
+    yes) and scratch (confluent no, OD yes) give the two mixed cells."""
+
+    def test_all_four_combinations(self):
+        audit = RuleAnalyzer(audit_application().ruleset).analyze()
+        scratch = RuleAnalyzer(scratch_table_application().ruleset).analyze()
+        assert audit.confluent and not audit.observably_deterministic
+        assert not scratch.confluent and scratch.observably_deterministic

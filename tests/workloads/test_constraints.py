@@ -1,0 +1,125 @@
+"""[CW90] constraint-derived rule tests."""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.engine.database import Database
+from repro.schema.catalog import schema_from_spec
+from repro.validate.oracle import oracle_verdict
+from repro.workloads.constraints import ForeignKey, referential_integrity_rules
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec(
+        {
+            "parent": ["pk", "info"],
+            "child": ["ck", "fk"],
+        }
+    )
+
+
+@pytest.fixture
+def foreign_keys():
+    return [ForeignKey(child="child", fk_column="fk", parent="parent", key_column="pk")]
+
+
+class TestDerivation:
+    def test_repair_rules_generated(self, schema, foreign_keys):
+        ruleset = referential_integrity_rules(schema, foreign_keys)
+        assert set(ruleset.names) == {"child_fk_cascade", "child_fk_restrict"}
+
+    def test_reject_variant_uses_rollback(self, schema, foreign_keys):
+        ruleset = referential_integrity_rules(
+            schema, foreign_keys, on_violation="reject"
+        )
+        restrict = ruleset.rule("child_fk_restrict")
+        assert restrict.is_observable  # rollback is observable
+
+    def test_bad_violation_mode(self, schema, foreign_keys):
+        with pytest.raises(ValueError):
+            referential_integrity_rules(schema, foreign_keys, on_violation="x")
+
+
+class TestRuntimeBehavior:
+    def load(self, schema):
+        database = Database(schema)
+        database.load("parent", [(1, 0), (2, 0)])
+        database.load("child", [(10, 1), (11, 1), (12, 2)])
+        return database
+
+    def test_cascade_deletes_orphans(self, schema, foreign_keys):
+        ruleset = referential_integrity_rules(schema, foreign_keys)
+        database = self.load(schema)
+        verdict = oracle_verdict(
+            ruleset, database, ["delete from parent where pk = 1"]
+        )
+        assert verdict.terminates and verdict.confluent
+        (final,) = set(verdict.graph.final_databases.values())
+        child_contents = dict(final)["child"]
+        assert child_contents == ((12, 2),)
+
+    def test_restrict_repairs_bad_insert(self, schema, foreign_keys):
+        ruleset = referential_integrity_rules(schema, foreign_keys)
+        database = self.load(schema)
+        verdict = oracle_verdict(
+            ruleset, database, ["insert into child values (99, 7)"]
+        )
+        assert verdict.terminates and verdict.confluent
+        (final,) = set(verdict.graph.final_databases.values())
+        child_contents = dict(final)["child"]
+        assert (99, 7) not in child_contents
+
+    def test_reject_rolls_back_bad_insert(self, schema, foreign_keys):
+        ruleset = referential_integrity_rules(
+            schema, foreign_keys, on_violation="reject"
+        )
+        database = self.load(schema)
+        verdict = oracle_verdict(
+            ruleset, database, ["insert into child values (99, 7)"]
+        )
+        assert verdict.terminates
+        (final,) = set(verdict.graph.final_databases.values())
+        child_contents = dict(final)["child"]
+        # rollback restored the pre-transaction state
+        assert child_contents == ((10, 1), (11, 1), (12, 2))
+
+
+class TestCyclicSchema:
+    def test_mutual_fk_cascades_form_triggering_cycle(self):
+        schema = schema_from_spec(
+            {"a": ["pk", "fk"], "b": ["pk", "fk"]}
+        )
+        foreign_keys = [
+            ForeignKey("a", "fk", "b", "pk"),
+            ForeignKey("b", "fk", "a", "pk"),
+        ]
+        ruleset = referential_integrity_rules(schema, foreign_keys)
+        analyzer = RuleAnalyzer(ruleset)
+        analysis = analyzer.analyze_termination()
+        assert not analysis.guaranteed  # cascades trigger each other
+
+        # The cascades only delete, and nothing in the cycle inserts:
+        # the delete-only heuristic certifies them (Section 5's first
+        # special case, exactly the [CW90] situation).
+        cyclic = analysis.cyclic_components[0]
+        auto = analysis.auto_certifiable[cyclic]
+        assert auto  # at least one delete-only rule available
+        for rule in auto:
+            analyzer.certify_termination(rule)
+        assert analyzer.analyze_termination().guaranteed
+
+    def test_cyclic_cascades_terminate_at_runtime(self):
+        schema = schema_from_spec({"a": ["pk", "fk"], "b": ["pk", "fk"]})
+        foreign_keys = [
+            ForeignKey("a", "fk", "b", "pk"),
+            ForeignKey("b", "fk", "a", "pk"),
+        ]
+        ruleset = referential_integrity_rules(schema, foreign_keys)
+        database = Database(schema)
+        database.load("a", [(1, 10), (2, 20)])
+        database.load("b", [(10, 1), (20, 2)])
+        verdict = oracle_verdict(
+            ruleset, database, ["delete from a where pk = 1"]
+        )
+        assert verdict.terminates

@@ -1,0 +1,64 @@
+"""Power-network case study tests (Section 5, [CW90])."""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.validate.oracle import oracle_verdict
+from repro.workloads.powernet import power_network_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return power_network_workload()
+
+
+class TestStaticAnalysis:
+    def test_triggering_graph_has_cycles(self, workload):
+        analyzer = RuleAnalyzer(workload.ruleset)
+        analysis = analyzer.analyze_termination()
+        assert not analysis.guaranteed
+        components = {frozenset(c) for c in analysis.cyclic_components}
+        # shed_overload self-loops; propagate/balance form a 2-cycle.
+        assert frozenset({"shed_overload"}) in components
+        assert frozenset({"propagate_demand", "balance_supply"}) in components
+
+    def test_interactive_certification_establishes_termination(self, workload):
+        analyzer = RuleAnalyzer(workload.ruleset)
+        for rule in workload.certifiable_rules:
+            analyzer.certify_termination(rule)
+        assert analyzer.analyze_termination().guaranteed
+
+
+class TestRuntimeBehavior:
+    def test_overload_transition_terminates(self, workload):
+        verdict = oracle_verdict(
+            workload.ruleset,
+            workload.database,
+            workload.overload_transition(),
+            max_states=5_000,
+            max_depth=500,
+        )
+        assert verdict.terminates
+
+    def test_processing_restores_invariants(self, workload):
+        from repro.runtime.processor import RuleProcessor
+
+        processor = RuleProcessor(
+            workload.ruleset, workload.database.copy(), max_steps=500
+        )
+        for statement in workload.overload_transition():
+            processor.execute_user(statement)
+        result = processor.run()
+        assert result.outcome == "quiescent"
+        # All invariants hold at quiescence: no overloaded branch, no
+        # node with demand above supply.
+        branches = processor.database.table("branch").value_tuples()
+        assert all(load <= capacity for *_, load, capacity in branches)
+        nodes = processor.database.table("node").value_tuples()
+        assert all(demand <= supply for __, demand, supply in nodes)
+
+    def test_quiescent_network_stays_quiescent(self, workload):
+        from repro.runtime.processor import RuleProcessor
+
+        processor = RuleProcessor(workload.ruleset, workload.database.copy())
+        assert processor.triggered_rules() == ()

@@ -1,0 +1,165 @@
+"""Procurement case-study tests: the full-stack 'realistic application'.
+
+This application exercises every analysis feature at once; the tests
+pin down each behavior and validate the static verdicts against the
+runtime (processor + oracle + sampler).
+"""
+
+import pytest
+
+from repro.analysis.analyzer import RuleAnalyzer
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.partitioning import partition_rules
+from repro.runtime.processor import RuleProcessor
+from repro.validate.oracle import oracle_partial_confluence, oracle_verdict
+from repro.validate.sampling import sample_runs
+from repro.workloads.applications import (
+    apply_procurement_repairs,
+    procurement_application,
+)
+
+
+@pytest.fixture
+def app():
+    return procurement_application()
+
+
+@pytest.fixture
+def repaired(app):
+    analyzer = RuleAnalyzer(app.ruleset)
+    apply_procurement_repairs(analyzer)
+    return analyzer
+
+
+class TestStaticAnalysis:
+    def test_initially_everything_fails(self, app):
+        report = RuleAnalyzer(app.ruleset).analyze()
+        assert not report.terminates
+        assert not report.confluent
+        assert not report.observably_deterministic
+
+    def test_cycles_and_their_heuristics(self, app):
+        analyzer = RuleAnalyzer(app.ruleset)
+        analysis = analyzer.analyze_termination()
+        components = {frozenset(c) for c in analysis.cyclic_components}
+        assert frozenset({"enforce_cap"}) in components
+        assert frozenset({"rebalance_bins"}) in components
+        # rebalance_bins drifts load downward bounded by load > 10: the
+        # monotonic heuristic certifies it automatically.
+        assert analysis.auto_certifiable[frozenset({"rebalance_bins"})] == (
+            frozenset({"rebalance_bins"})
+        )
+        # enforce_cap clamps (not a drift): needs the user.
+        assert analysis.auto_certifiable[frozenset({"enforce_cap"})] == (
+            frozenset()
+        )
+
+    def test_repair_recipe_reaches_full_green(self, repaired):
+        report = repaired.analyze()
+        assert report.terminates
+        assert report.confluent
+        assert report.observably_deterministic
+
+    def test_partitions(self, app):
+        definitions = DerivedDefinitions(app.ruleset)
+        partitions = partition_rules(definitions, app.ruleset.priorities)
+        assert len(partitions) == 2
+        assert frozenset({"rebalance_bins"}) in partitions
+
+    def test_partial_confluence_is_a_false_alarm_here(self, app):
+        """Sig(core) conservatively absorbs the scratch writers through
+        the untriggering condition, so the static partial verdict is
+        'may not' — while the oracle shows the core tables actually
+        agree. A textbook conservative false alarm."""
+        analyzer = RuleAnalyzer(app.ruleset)
+        analyzer.certify_termination("enforce_cap")
+        analyzer.certify_termination("rebalance_bins")
+        partial = analyzer.analyze_partial_confluence(app.important_tables)
+        assert not partial.confluent_with_respect_to_tables
+        assert "note_alert" in partial.significant  # the conservative pull-in
+        assert oracle_partial_confluence(
+            app.ruleset, app.database, app.transition,
+            list(app.important_tables),
+        )
+
+
+class TestRuntimeBehavior:
+    def test_valid_order_flow(self, app):
+        processor = RuleProcessor(app.ruleset, app.database.copy())
+        processor.execute_user("insert into orders values (101, 11, 3)")
+        result = processor.run()
+        assert result.outcome == "quiescent"
+        totals = dict(
+            processor.database.table("order_totals").value_tuples()
+        )
+        assert totals == {10: 2, 11: 3}
+        budget = processor.database.table("budget").value_tuples()
+        # spent 2 + 3 = 5, under the cap of 10.
+        assert budget == [(1, 5, 10)]
+
+    def test_budget_cap_enforced(self, app):
+        processor = RuleProcessor(app.ruleset, app.database.copy())
+        processor.execute_user("insert into orders values (101, 11, 30)")
+        processor.run()
+        budget = processor.database.table("budget").value_tuples()
+        assert budget == [(1, 10, 10)]  # clamped to cap
+
+    def test_invalid_order_rolls_back(self, app):
+        processor = RuleProcessor(app.ruleset, app.database.copy())
+        processor.execute_user("insert into orders values (102, 999, 1)")
+        result = processor.run()
+        assert result.outcome == "rolled_back"
+        assert result.observables[0].kind == "rollback"
+        assert len(processor.database.table("orders")) == 1  # unchanged
+
+    def test_supplier_delete_cascades_two_levels(self, app):
+        processor = RuleProcessor(app.ruleset, app.database.copy())
+        processor.execute_user("delete from suppliers where id = 1")
+        processor.run()
+        parts = processor.database.table("parts").value_tuples()
+        assert parts == [(20, 2, 75)]
+        assert len(processor.database.table("orders")) == 0
+        assert len(processor.database.table("order_totals")) == 0
+
+    def test_bin_rebalancing_terminates(self, app):
+        processor = RuleProcessor(
+            app.ruleset, app.database.copy(), max_steps=200
+        )
+        processor.execute_user("update bins set load = load + 5 where id = 2")
+        result = processor.run()
+        assert result.outcome == "quiescent"
+        loads = dict(processor.database.table("bins").value_tuples())
+        assert loads[2] <= 10
+
+    def test_oracle_confirms_repaired_confluence(self, app, repaired):
+        assert repaired.analyze().confluent
+        verdict = oracle_verdict(
+            app.ruleset,
+            app.database,
+            app.transition,
+            max_states=3_000,
+            max_depth=300,
+        )
+        assert verdict.terminates
+        assert verdict.confluent
+
+    def test_sampler_agrees_on_larger_transition(self, app):
+        """The oracle would be expensive for a bigger burst; the sampler
+        covers it: every sampled order reaches the same final state
+        (after the repair orderings, which are in the rule set by now)."""
+        analyzer = RuleAnalyzer(app.ruleset)
+        apply_procurement_repairs(analyzer)
+        report = sample_runs(
+            app.ruleset,
+            app.database,
+            [
+                "insert into orders values (103, 10, 1)",
+                "insert into orders values (104, 20, 2)",
+                "update bins set load = load + 4 where id = 2",
+            ],
+            runs=12,
+            seed=2,
+        )
+        assert report.all_terminated
+        assert not report.confluence_refuted
+        assert not report.observable_determinism_refuted
