@@ -48,6 +48,7 @@ from repro.runtime.processor import RuleProcessor
 from repro.runtime.exec_graph import ExecutionGraph, explore, explore_ruleset
 from repro.analysis.analyzer import AnalysisReport, RuleAnalyzer
 from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.engine import AnalysisEngine, EngineStats
 from repro.analysis.incremental import IncrementalAnalyzer
 from repro.analysis.report import render_markdown
 from repro.runtime.trace import render_trace, trace_run
@@ -78,6 +79,8 @@ __all__ = [
     "explore_ruleset",
     "AnalysisReport",
     "RuleAnalyzer",
+    "AnalysisEngine",
+    "EngineStats",
     "DerivedDefinitions",
     "IncrementalAnalyzer",
     "render_markdown",

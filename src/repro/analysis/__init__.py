@@ -14,6 +14,8 @@
 * :mod:`repro.analysis.observable` — Section 8: the ``Obs`` reduction
   and Theorem 8.1.
 * :mod:`repro.analysis.corollaries` — Corollaries 6.8–6.10 and 8.2.
+* :mod:`repro.analysis.engine` — the shared memoized pairwise-analysis
+  engine all the analyses above are served from.
 * :mod:`repro.analysis.analyzer` — the interactive facade tying it all
   together (the paper's envisioned development environment).
 """
@@ -36,9 +38,12 @@ from repro.analysis.confluence import (
     ConfluenceAnalysis,
     ConfluenceAnalyzer,
     ConfluenceViolation,
+    PairJudgment,
     RepairSuggestion,
     build_interference_sets,
+    judge_unordered_pair,
 )
+from repro.analysis.engine import AnalysisEngine, EngineStats
 from repro.analysis.partial_confluence import (
     PartialConfluenceAnalysis,
     PartialConfluenceAnalyzer,
@@ -79,8 +84,12 @@ __all__ = [
     "ConfluenceAnalysis",
     "ConfluenceAnalyzer",
     "ConfluenceViolation",
+    "PairJudgment",
     "RepairSuggestion",
     "build_interference_sets",
+    "judge_unordered_pair",
+    "AnalysisEngine",
+    "EngineStats",
     "PartialConfluenceAnalysis",
     "PartialConfluenceAnalyzer",
     "significant_rules",

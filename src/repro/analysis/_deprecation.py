@@ -1,0 +1,34 @@
+"""Deprecation policy for the per-property analyzer classes.
+
+Since the introduction of the shared pairwise-analysis engine
+(:mod:`repro.analysis.engine`), the supported entry point for the
+per-property analyses is the session façade
+:class:`~repro.analysis.analyzer.RuleAnalyzer` (or, for lower-level
+control, an explicit :class:`~repro.analysis.engine.AnalysisEngine`).
+
+Direct construction of :class:`ConfluenceAnalyzer`,
+:class:`PartialConfluenceAnalyzer` and
+:class:`ObservableDeterminismAnalyzer` keeps working — it is the
+reference, memo-free code path and the tests exercise it — but it
+bypasses the engine's memo tables, invalidation tracking and counters,
+so it emits a :class:`DeprecationWarning`. The building-block analyzers
+(:class:`CommutativityAnalyzer`, :class:`TerminationAnalyzer`) are not
+deprecated: the engine is built from them.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_direct_construction(class_name: str) -> None:
+    """Emit the standard deprecation warning for *class_name*."""
+    warnings.warn(
+        f"constructing {class_name} directly is deprecated; use the "
+        "RuleAnalyzer session façade (repro.RuleAnalyzer) or an "
+        "AnalysisEngine, which share memoized pair verdicts across "
+        "analyses. Direct construction still works but re-judges every "
+        "pair from scratch.",
+        DeprecationWarning,
+        stacklevel=3,
+    )

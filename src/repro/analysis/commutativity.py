@@ -83,6 +83,11 @@ class CommutativityAnalyzer:
         definitions: DerivedDefinitions,
         granularity: str = "column",
         refine: bool = False,
+        *,
+        cache: dict[frozenset[str], tuple[NoncommutativityReason, ...]]
+        | None = None,
+        stats=None,
+        on_certification=None,
     ) -> None:
         if granularity not in ("column", "table"):
             raise ValueError("granularity must be 'column' or 'table'")
@@ -90,7 +95,16 @@ class CommutativityAnalyzer:
         self.granularity = granularity
         self.refine = refine
         self._certified: set[frozenset[str]] = set()
-        self._cache: dict[frozenset[str], tuple[NoncommutativityReason, ...]] = {}
+        #: raw Lemma 6.1 verdict memo; injectable so an engine (and its
+        #: restricted sub-engines) can share one content-addressed store
+        self._cache = cache if cache is not None else {}
+        #: optional EngineStats-like object with ``lemma_judgments`` /
+        #: ``lemma_memo_hits`` counters
+        self._stats = stats
+        #: optional hook ``(pair, added)`` fired on certify/revoke so an
+        #: engine can invalidate dependent pair verdicts even when the
+        #: certification is made directly on this object
+        self._on_certification = on_certification
 
     # ------------------------------------------------------------------
     # Certification (the user-interaction hook of Section 6.1)
@@ -101,12 +115,17 @@ class CommutativityAnalyzer:
         pair = frozenset({first.lower(), second.lower()})
         if len(pair) != 2:
             return  # every rule commutes with itself already
-        self._certified.add(pair)
+        if pair not in self._certified:
+            self._certified.add(pair)
+            if self._on_certification is not None:
+                self._on_certification(pair, True)
 
     def revoke_certification(self, first: str, second: str) -> bool:
         pair = frozenset({first.lower(), second.lower()})
         if pair in self._certified:
             self._certified.discard(pair)
+            if self._on_certification is not None:
+                self._on_certification(pair, False)
             return True
         return False
 
@@ -133,7 +152,12 @@ class CommutativityAnalyzer:
     ) -> tuple[NoncommutativityReason, ...]:
         """All Lemma 6.1 conditions that fire for the pair (both
         directions); empty means guaranteed commutative. Certifications
-        are *not* applied here — this reports the raw syntactic analysis."""
+        are *not* applied here — this reports the raw syntactic analysis.
+
+        The memoized tuple is always oriented to the sorted pair, so the
+        result is independent of which direction asked first (and of the
+        serial/parallel judging path).
+        """
         first = first.lower()
         second = second.lower()
         if first == second:
@@ -141,13 +165,50 @@ class CommutativityAnalyzer:
         key = frozenset({first, second})
         cached = self._cache.get(key)
         if cached is None:
-            reasons = tuple(
-                list(self._directed_reasons(first, second))
-                + list(self._directed_reasons(second, first))
-            )
-            self._cache[key] = reasons
-            cached = reasons
+            cached = self.compute_reasons(*sorted((first, second)))
+            self._cache[key] = cached
+            if self._stats is not None:
+                self._stats.lemma_judgments += 1
+        elif self._stats is not None:
+            self._stats.lemma_memo_hits += 1
         return cached
+
+    def compute_reasons(
+        self, first: str, second: str
+    ) -> tuple[NoncommutativityReason, ...]:
+        """The raw Lemma 6.1 judgment, bypassing (and not touching) the
+        memo — safe to call from parallel workers; everything it reads
+        (definitions, rule ASTs, schema) is immutable."""
+        first = first.lower()
+        second = second.lower()
+        return tuple(
+            list(self._directed_reasons(first, second))
+            + list(self._directed_reasons(second, first))
+        )
+
+    def is_cached(self, first: str, second: str) -> bool:
+        return frozenset({first.lower(), second.lower()}) in self._cache
+
+    def store_reasons(
+        self,
+        first: str,
+        second: str,
+        reasons: tuple[NoncommutativityReason, ...],
+    ) -> None:
+        """Install a judgment computed out-of-band (e.g. by a parallel
+        worker) into the memo, counting it as one judgment."""
+        self._cache[frozenset({first.lower(), second.lower()})] = reasons
+        if self._stats is not None:
+            self._stats.lemma_judgments += 1
+
+    def invalidate_rules(self, names) -> int:
+        """Drop every memoized judgment touching *names* (rule edits);
+        returns the number of entries dropped."""
+        wanted = {name.lower() for name in names}
+        stale = [pair for pair in self._cache if pair & wanted]
+        for pair in stale:
+            del self._cache[pair]
+        return len(stale)
 
     def _directed_reasons(self, ri: str, rj: str):
         defs = self.definitions

@@ -25,12 +25,62 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis._deprecation import warn_direct_construction
 from repro.analysis.commutativity import (
     CommutativityAnalyzer,
     NoncommutativityReason,
 )
 from repro.analysis.derived import DerivedDefinitions
 from repro.rules.priorities import PriorityRelation
+
+
+def _interference_fixpoint(
+    definitions: DerivedDefinitions,
+    priorities: PriorityRelation,
+    ri: str,
+    rj: str,
+    universe: frozenset[str],
+) -> tuple[frozenset[str], frozenset[str], frozenset[str], int]:
+    """The Definition 6.5 fixpoint, instrumented for memo dependency
+    tracking.
+
+    Returns ``(R1, R2, candidates, iterations)`` where *candidates* is
+    every rule whose priority standing was queried while growing the
+    sets (accepted or not) — together with the members themselves these
+    are exactly the rules whose priority edges the result depends on.
+    """
+    r1: set[str] = {ri}
+    r2: set[str] = {rj}
+    examined: set[str] = set()
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        # R1 gains rules triggered from R1 that outrank something in R2.
+        candidates1 = {
+            candidate
+            for member in r1
+            for candidate in definitions.triggers(member)
+            if candidate in universe and candidate != rj and candidate not in r1
+        }
+        examined |= candidates1
+        for candidate in candidates1:
+            if any(priorities.has_precedence(candidate, lower) for lower in r2):
+                r1.add(candidate)
+                changed = True
+        candidates2 = {
+            candidate
+            for member in r2
+            for candidate in definitions.triggers(member)
+            if candidate in universe and candidate != ri and candidate not in r2
+        }
+        examined |= candidates2
+        for candidate in candidates2:
+            if any(priorities.has_precedence(candidate, lower) for lower in r1):
+                r2.add(candidate)
+                changed = True
+    return frozenset(r1), frozenset(r2), frozenset(examined), iterations
 
 
 def build_interference_sets(
@@ -49,34 +99,10 @@ def build_interference_sets(
     rj = rj.lower()
     if universe is None:
         universe = frozenset(definitions.rule_names)
-
-    r1: set[str] = {ri}
-    r2: set[str] = {rj}
-    changed = True
-    while changed:
-        changed = False
-        # R1 gains rules triggered from R1 that outrank something in R2.
-        candidates1 = {
-            candidate
-            for member in r1
-            for candidate in definitions.triggers(member)
-            if candidate in universe and candidate != rj and candidate not in r1
-        }
-        for candidate in candidates1:
-            if any(priorities.has_precedence(candidate, lower) for lower in r2):
-                r1.add(candidate)
-                changed = True
-        candidates2 = {
-            candidate
-            for member in r2
-            for candidate in definitions.triggers(member)
-            if candidate in universe and candidate != ri and candidate not in r2
-        }
-        for candidate in candidates2:
-            if any(priorities.has_precedence(candidate, lower) for lower in r1):
-                r2.add(candidate)
-                changed = True
-    return frozenset(r1), frozenset(r2)
+    r1, r2, __, __ = _interference_fixpoint(
+        definitions, priorities, ri, rj, universe
+    )
+    return r1, r2
 
 
 @dataclass(frozen=True)
@@ -209,15 +235,91 @@ class ConfluenceAnalysis:
         )
 
 
+@dataclass(frozen=True)
+class PairJudgment:
+    """The confluence verdict for one unordered pair, with the
+    dependency footprint the engine's memo invalidation needs.
+
+    ``members`` is ``R1 ∪ R2`` — the rules whose pairwise commutativity
+    (hence certifications) the verdict depends on. ``uppers`` adds every
+    candidate whose priority standing was queried while building the
+    fixpoint: the verdict can only change when a priority edge from a
+    rule in ``uppers`` to a rule in ``members`` appears or disappears.
+    """
+
+    first: str
+    second: str
+    violations: tuple[ConfluenceViolation, ...]
+    r1_set: frozenset[str]
+    r2_set: frozenset[str]
+    members: frozenset[str]
+    uppers: frozenset[str]
+    iterations: int
+
+
+def judge_unordered_pair(
+    definitions: DerivedDefinitions,
+    priorities: PriorityRelation,
+    commutativity: CommutativityAnalyzer,
+    first: str,
+    second: str,
+    universe: frozenset[str],
+) -> PairJudgment:
+    """Definition 6.5 for one unordered pair: build ``(R1, R2)`` and
+    check every cross member pair for commutativity."""
+    r1_set, r2_set, candidates, iterations = _interference_fixpoint(
+        definitions, priorities, first, second, universe
+    )
+    violations: list[ConfluenceViolation] = []
+    for r1_member in sorted(r1_set):
+        for r2_member in sorted(r2_set):
+            if commutativity.commute(r1_member, r2_member):
+                continue
+            violations.append(
+                ConfluenceViolation(
+                    pair_first=first,
+                    pair_second=second,
+                    r1_member=r1_member,
+                    r2_member=r2_member,
+                    r1_set=r1_set,
+                    r2_set=r2_set,
+                    reasons=commutativity.noncommutativity_reasons(
+                        r1_member, r2_member
+                    ),
+                )
+            )
+    members = r1_set | r2_set
+    return PairJudgment(
+        first=first,
+        second=second,
+        violations=tuple(violations),
+        r1_set=r1_set,
+        r2_set=r2_set,
+        members=members,
+        uppers=members | candidates,
+        iterations=iterations,
+    )
+
+
 class ConfluenceAnalyzer:
-    """Applies Definition 6.5 across all unordered pairs of a rule set."""
+    """Applies Definition 6.5 across all unordered pairs of a rule set.
+
+    .. deprecated::
+        Construct analyses through :class:`repro.RuleAnalyzer` (or an
+        :class:`~repro.analysis.engine.AnalysisEngine`) instead; this
+        stand-alone path re-judges every pair on every call.
+    """
 
     def __init__(
         self,
         definitions: DerivedDefinitions,
         priorities: PriorityRelation,
         commutativity: CommutativityAnalyzer | None = None,
+        *,
+        _internal: bool = False,
     ) -> None:
+        if not _internal:
+            warn_direct_construction("ConfluenceAnalyzer")
         self.definitions = definitions
         self.priorities = priorities
         self.commutativity = commutativity or CommutativityAnalyzer(definitions)
@@ -238,30 +340,15 @@ class ConfluenceAnalyzer:
                 if not self.priorities.are_unordered(first, second):
                     continue
                 pairs_examined += 1
-                r1_set, r2_set = build_interference_sets(
+                judgment = judge_unordered_pair(
                     self.definitions,
                     self.priorities,
+                    self.commutativity,
                     first,
                     second,
-                    universe=universe,
+                    universe,
                 )
-                for r1_member in sorted(r1_set):
-                    for r2_member in sorted(r2_set):
-                        if self.commutativity.commute(r1_member, r2_member):
-                            continue
-                        violations.append(
-                            ConfluenceViolation(
-                                pair_first=first,
-                                pair_second=second,
-                                r1_member=r1_member,
-                                r2_member=r2_member,
-                                r1_set=r1_set,
-                                r2_set=r2_set,
-                                reasons=self.commutativity.noncommutativity_reasons(
-                                    r1_member, r2_member
-                                ),
-                            )
-                        )
+                violations.extend(judgment.violations)
 
         return ConfluenceAnalysis(
             requirement_holds=not violations,

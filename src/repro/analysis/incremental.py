@@ -36,15 +36,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.commutativity import CommutativityAnalyzer
-from repro.analysis.confluence import ConfluenceAnalysis, ConfluenceAnalyzer
+from repro.analysis.confluence import ConfluenceAnalysis
 from repro.analysis.derived import DerivedDefinitions
-from repro.analysis.observable import (
-    ObservableDeterminismAnalysis,
-    ObservableDeterminismAnalyzer,
-)
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.observable import ObservableDeterminismAnalysis
 from repro.analysis.partitioning import partition_rules
-from repro.analysis.termination import TerminationAnalysis, TerminationAnalyzer
+from repro.analysis.termination import TerminationAnalysis
 from repro.errors import RuleError
 from repro.lang.parser import parse_rule
 from repro.lang.pretty import format_rule
@@ -225,31 +222,22 @@ class IncrementalAnalyzer:
         ruleset: RuleSet,
     ) -> PartitionResult:
         subset = ruleset.subset(partition)
-        definitions = DerivedDefinitions(subset)
-        commutativity = CommutativityAnalyzer(definitions)
+        engine = AnalysisEngine(subset)
         for pair in self._certified_commutes:
             if pair <= partition:
                 first, second = sorted(pair)
-                commutativity.certify_commutes(first, second)
-
-        termination_analyzer = TerminationAnalyzer(definitions)
+                engine.certify_commutes(first, second)
         for rule in self._certified_termination & partition:
-            termination_analyzer.certify_rule(rule)
-        termination = termination_analyzer.analyze()
+            engine.certify_termination(rule)
 
-        confluence = ConfluenceAnalyzer(
-            definitions, subset.priorities, commutativity
-        ).analyze()
-
-        observable = ObservableDeterminismAnalyzer(
-            subset,
-            priorities=subset.priorities,
-            termination_analyzer=termination_analyzer,
-            base_commutativity=commutativity,
-        ).analyze()
+        termination = engine.analyze_termination()
+        confluence = engine.analyze_confluence()
+        observable = engine.analyze_observable_determinism()
 
         observable_rules = frozenset(
-            name for name in partition if definitions.observable(name)
+            name
+            for name in partition
+            if engine.definitions.observable(name)
         )
         return PartitionResult(
             fingerprint=fingerprint,

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis._deprecation import warn_direct_construction
 from repro.analysis.commutativity import CommutativityAnalyzer
 from repro.analysis.confluence import ConfluenceAnalysis, ConfluenceAnalyzer
 from repro.analysis.derived import OBS_TABLE, ObsExtendedDefinitions
@@ -79,6 +80,15 @@ class ObservableDeterminismAnalyzer:
     noncommutativity between two observable rules, however — that pair
     stays noncommutative unless both obligations are met by ordering,
     per Corollary 8.2).
+
+    .. deprecated::
+        Construct analyses through :class:`repro.RuleAnalyzer` (or an
+        :class:`~repro.analysis.engine.AnalysisEngine`) instead; this
+        stand-alone path re-judges every pair on every call. When an
+        *engine* is supplied, the extended definitions and commutativity
+        analyzer are the engine's shared Obs view (with certifications
+        already mirrored) and the confluence step over ``Sig(Obs)`` is
+        served from the engine's memoized pair verdicts.
     """
 
     def __init__(
@@ -87,28 +97,38 @@ class ObservableDeterminismAnalyzer:
         priorities: PriorityRelation | None = None,
         termination_analyzer: TerminationAnalyzer | None = None,
         base_commutativity: CommutativityAnalyzer | None = None,
+        *,
+        engine=None,
+        _internal: bool = False,
     ) -> None:
+        if not _internal:
+            warn_direct_construction("ObservableDeterminismAnalyzer")
         self.ruleset = ruleset
         self.priorities = priorities or ruleset.priorities
-        self.extended = ObsExtendedDefinitions(ruleset)
-        self.commutativity = CommutativityAnalyzer(
-            self.extended,
-            refine=getattr(base_commutativity, "refine", False),
-        )
-        if base_commutativity is not None:
-            observable = {
-                name
-                for name in self.extended.rule_names
-                if self.extended.observable(name)
-            }
-            for pair in base_commutativity.certified_pairs:
-                first, second = sorted(pair)
-                # Two observable rules are noncommutative *because of
-                # Obs* (both insert into it and read it); a user
-                # certification about the real tables cannot erase that.
-                if first in observable and second in observable:
-                    continue
-                self.commutativity.certify_commutes(first, second)
+        self.engine = engine
+        if engine is not None:
+            self.extended = engine.obs_definitions
+            self.commutativity = engine.obs_commutativity
+        else:
+            self.extended = ObsExtendedDefinitions(ruleset)
+            self.commutativity = CommutativityAnalyzer(
+                self.extended,
+                refine=getattr(base_commutativity, "refine", False),
+            )
+            if base_commutativity is not None:
+                observable = {
+                    name
+                    for name in self.extended.rule_names
+                    if self.extended.observable(name)
+                }
+                for pair in base_commutativity.certified_pairs:
+                    first, second = sorted(pair)
+                    # Two observable rules are noncommutative *because of
+                    # Obs* (both insert into it and read it); a user
+                    # certification about the real tables cannot erase that.
+                    if first in observable and second in observable:
+                        continue
+                    self.commutativity.certify_commutes(first, second)
         self.termination_analyzer = termination_analyzer or TerminationAnalyzer(
             self.extended
         )
@@ -123,9 +143,15 @@ class ObservableDeterminismAnalyzer:
             self.extended, self.commutativity, [OBS_TABLE]
         )
         termination = self.termination_analyzer.analyze()
-        confluence = ConfluenceAnalyzer(
-            self.extended, self.priorities, self.commutativity
-        ).analyze(universe=significant)
+        if self.engine is not None:
+            confluence = self.engine.analyze_confluence(
+                universe=significant, view="obs"
+            )
+        else:
+            confluence = ConfluenceAnalyzer(
+                self.extended, self.priorities, self.commutativity,
+                _internal=True,
+            ).analyze(universe=significant)
         return ObservableDeterminismAnalysis(
             observable_rules=observable,
             significant=significant,

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.analysis._deprecation import warn_direct_construction
 from repro.analysis.commutativity import CommutativityAnalyzer
 from repro.analysis.confluence import ConfluenceAnalysis, ConfluenceAnalyzer
 from repro.analysis.derived import DerivedDefinitions
@@ -91,7 +92,15 @@ class PartialConfluenceAnalysis:
 
 
 class PartialConfluenceAnalyzer:
-    """Runs the Theorem 7.2 pipeline for a given ``T'``."""
+    """Runs the Theorem 7.2 pipeline for a given ``T'``.
+
+    .. deprecated::
+        Construct analyses through :class:`repro.RuleAnalyzer` (or an
+        :class:`~repro.analysis.engine.AnalysisEngine`) instead; this
+        stand-alone path re-judges every pair on every call. When an
+        *engine* is supplied, the Definition 6.5 confluence step over
+        ``Sig(T')`` is served from the engine's memoized pair verdicts.
+    """
 
     def __init__(
         self,
@@ -99,13 +108,19 @@ class PartialConfluenceAnalyzer:
         priorities: PriorityRelation,
         commutativity: CommutativityAnalyzer | None = None,
         termination_analyzer: TerminationAnalyzer | None = None,
+        *,
+        engine=None,
+        _internal: bool = False,
     ) -> None:
+        if not _internal:
+            warn_direct_construction("PartialConfluenceAnalyzer")
         self.definitions = definitions
         self.priorities = priorities
         self.commutativity = commutativity or CommutativityAnalyzer(definitions)
         self.termination_analyzer = termination_analyzer or TerminationAnalyzer(
             definitions
         )
+        self.engine = engine
 
     def analyze(self, tables: Iterable[str]) -> PartialConfluenceAnalysis:
         wanted = frozenset(table.lower() for table in tables)
@@ -115,10 +130,16 @@ class PartialConfluenceAnalyzer:
 
         termination = self._terminates_on_their_own(significant)
 
-        confluence_analyzer = ConfluenceAnalyzer(
-            self.definitions, self.priorities, self.commutativity
-        )
-        confluence = confluence_analyzer.analyze(universe=significant)
+        if self.engine is not None:
+            confluence = self.engine.analyze_confluence(universe=significant)
+        else:
+            confluence_analyzer = ConfluenceAnalyzer(
+                self.definitions,
+                self.priorities,
+                self.commutativity,
+                _internal=True,
+            )
+            confluence = confluence_analyzer.analyze(universe=significant)
 
         return PartialConfluenceAnalysis(
             tables=wanted,

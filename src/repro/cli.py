@@ -8,6 +8,7 @@ Usage::
 
     starburst-analyze --schema schema.txt rules.txt
     starburst-analyze --schema schema.txt rules.txt --tables stock,orders
+    starburst-analyze --schema schema.txt rules.txt --json --stats
     starburst-analyze --schema schema.txt rules.txt --certify-commutes a,b \\
         --certify-termination shed_overload --order high,low
     starburst-analyze --schema schema.txt rules.txt \\
@@ -119,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print violations and repair suggestions",
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full analysis report as JSON on stdout "
+        "(AnalysisReport.to_dict(); suppresses the human-readable output)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the analysis engine's cache and timing counters "
+        "(pairs judged, memo hits, invalidations, per-phase wall-clock)",
+    )
+    parser.add_argument(
         "--report",
         metavar="FILE.md",
         help="write a full markdown analysis report to FILE.md",
@@ -168,21 +181,29 @@ def main(argv: list[str] | None = None) -> int:
             higher, __, lower = pair.partition(",")
             analyzer.add_priority(higher.strip(), lower.strip())
 
-        report = analyzer.analyze()
+        table_groups = []
+        if args.tables:
+            table_groups.append(
+                [table.strip() for table in args.tables.split(",")]
+            )
+        report = analyzer.analyze(tables=table_groups)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    print(f"analyzed {len(ruleset)} rules over {len(schema)} tables")
-    print(report.summary())
+    if args.json:
+        import json
 
-    if args.verbose:
-        _print_details(report)
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"analyzed {len(ruleset)} rules over {len(schema)} tables")
+        print(report.summary())
 
-    if args.tables:
-        tables = [table.strip() for table in args.tables.split(",")]
-        partial = analyzer.analyze_partial_confluence(tables)
-        print(f"partial confluence:     {partial.describe()}")
+        if args.verbose:
+            _print_details(report)
+
+    if args.stats and not args.json:
+        _print_stats(analyzer.engine.stats)
 
     if args.dot:
         from repro.analysis.graphviz import triggering_graph_dot
@@ -195,7 +216,10 @@ def main(argv: list[str] | None = None) -> int:
                     certified=analyzer.termination_analyzer.certified_rules,
                 )
             )
-        print(f"triggering graph written to {args.dot}")
+        print(
+            f"triggering graph written to {args.dot}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
 
     if args.report:
         from repro.analysis.report import render_markdown
@@ -209,7 +233,10 @@ def main(argv: list[str] | None = None) -> int:
             handle.write(
                 render_markdown(analyzer, report, partial_tables=partial)
             )
-        print(f"markdown report written to {args.report}")
+        print(
+            f"markdown report written to {args.report}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
 
     if args.run:
         try:
@@ -254,6 +281,18 @@ def _run_and_trace(ruleset: RuleSet, schema: Schema, args) -> None:
         print(f"terminates:          {graph.terminates}")
         print(f"confluent:           {graph.is_confluent}")
         print(f"observable streams:  {len(graph.observable_streams)}")
+
+
+def _print_stats(stats) -> None:
+    print("\n== analysis engine stats ==")
+    data = stats.to_dict()
+    timings = data.pop("timings")
+    for key in sorted(data):
+        print(f"  {key}: {data[key]}")
+    if timings:
+        print("  timings (s):")
+        for phase, seconds in timings.items():
+            print(f"    {phase}: {seconds}")
 
 
 def _print_details(report) -> None:

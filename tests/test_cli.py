@@ -147,6 +147,77 @@ class TestOptions:
         assert code == 1  # overall confluence still fails
 
 
+class TestJsonAndStats:
+    def test_json_emits_valid_report(self, files, capsys):
+        import json
+
+        code = main(
+            [
+                files("r.txt", CLEAN_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        data = json.loads(out)  # pure JSON on stdout
+        assert code == 0
+        assert data["verdicts"] == {
+            "terminates": True,
+            "confluent": True,
+            "observably_deterministic": True,
+        }
+        assert data["stats"]["confluence_passes"] >= 1
+
+    def test_json_round_trips_through_report(self, files, capsys):
+        import json
+
+        from repro.analysis.analyzer import AnalysisReport
+
+        main(
+            [
+                files("r.txt", CONFLICTING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--json",
+                "--tables",
+                "u",
+            ]
+        )
+        data = json.loads(capsys.readouterr().out)
+        restored = AnalysisReport.from_dict(data)
+        assert restored.to_dict() == data
+        assert not restored.confluent
+        assert data["partial_confluence"][0]["tables"] == ["u"]
+
+    def test_json_exit_code_still_reflects_verdicts(self, files, capsys):
+        code = main(
+            [
+                files("r.txt", CONFLICTING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--json",
+            ]
+        )
+        assert code == 1
+
+    def test_stats_prints_engine_counters(self, files, capsys):
+        code = main(
+            [
+                files("r.txt", CONFLICTING_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "analysis engine stats" in out
+        assert "pairs_judged" in out
+        assert "pair_memo_hits" in out
+        assert "timings" in out
+
+
 DATA = """
 # stock levels
 u: (1, 3), (2, 0)
