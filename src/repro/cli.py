@@ -194,7 +194,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         import json
 
-        print(json.dumps(report.to_dict(), indent=2))
+        payload = report.to_dict()
+        if args.run:
+            try:
+                payload.update(_run_json(ruleset, schema, args))
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        print(json.dumps(payload, indent=2))
     else:
         print(f"analyzed {len(ruleset)} rules over {len(schema)} tables")
         print(report.summary())
@@ -238,7 +245,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr if args.json else sys.stdout,
         )
 
-    if args.run:
+    if args.run and not args.json:
         try:
             _run_and_trace(ruleset, schema, args)
         except ReproError as error:
@@ -251,6 +258,50 @@ def main(argv: list[str] | None = None) -> int:
         and report.observably_deterministic
     )
     return 0 if all_good else 1
+
+
+def _run_json(ruleset: RuleSet, schema: Schema, args) -> dict:
+    """Execute --run (and --explore) for machine-readable output.
+
+    Returns an ``execution`` section (outcome, steps, final tables,
+    processor substrate counters) and, with ``--explore``, an
+    ``exploration`` section (``ExecutionGraph.stats()``) — so that the
+    runtime's observability lands in the same JSON surface as the
+    analysis engine's counters.
+    """
+    database = (
+        load_data(args.data, schema) if args.data else Database(schema)
+    )
+
+    processor = RuleProcessor(ruleset, database.copy())
+    for statement in args.run:
+        processor.execute_user(statement)
+    result = processor.run()
+
+    sections: dict = {
+        "execution": {
+            "outcome": result.outcome,
+            "steps": len(result.steps),
+            "rules_considered": result.rules_considered,
+            "observables": [str(action) for action in result.observables],
+            "final_tables": {
+                table.name: processor.database.table(
+                    table.name
+                ).value_tuples()
+                for table in schema
+            },
+            "stats": processor.stats.to_dict(),
+        }
+    }
+
+    if args.explore:
+        fresh = RuleProcessor(ruleset, database.copy())
+        for statement in args.run:
+            fresh.execute_user(statement)
+        graph = explore(fresh)
+        sections["exploration"] = graph.stats()
+        sections["exploration"]["substrate_stats"] = fresh.stats.to_dict()
+    return sections
 
 
 def _run_and_trace(ruleset: RuleSet, schema: Schema, args) -> None:
@@ -281,6 +332,9 @@ def _run_and_trace(ruleset: RuleSet, schema: Schema, args) -> None:
         print(f"terminates:          {graph.terminates}")
         print(f"confluent:           {graph.is_confluent}")
         print(f"observable streams:  {len(graph.observable_streams)}")
+        print(f"paths to final:      {graph.paths_to_final()}")
+        if graph.streams_truncated:
+            print("(stream enumeration truncated by budget)")
 
 
 def _print_stats(stats) -> None:

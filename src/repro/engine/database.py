@@ -88,7 +88,13 @@ class Database:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """An opaque copy of the full state, restorable via :meth:`restore`."""
+        """An opaque copy of the full state, restorable via :meth:`restore`.
+
+        Tables are snapshotted copy-on-write, so this is O(tables); a
+        table pays the O(rows) copy only when written after the
+        snapshot (and :meth:`restore` re-copies so one snapshot can be
+        restored any number of times).
+        """
         return {
             "tables": {name: data.copy() for name, data in self._tables.items()},
             "next_tid": self._next_tid,
@@ -106,7 +112,10 @@ class Database:
         Tids are excluded (see :meth:`TableData.canonical`), so states
         reached along different execution paths compare equal exactly
         when they contain the same data — the equality the paper's
-        confluence definition is stated over.
+        confluence definition is stated over. Per-table canonical forms
+        are memoized with write-invalidated dirty bits and survive
+        copy-on-write forks, so re-keying a state after a step only
+        re-sorts the tables that step wrote.
         """
         return tuple(
             (name, self._tables[name].canonical())
@@ -120,9 +129,16 @@ class Database:
             for name in sorted(set(t.lower() for t in tables))
         )
 
-    def copy(self) -> "Database":
-        clone = Database(self.schema)
-        clone.restore(self.snapshot())
+    def copy(self, cow: bool = True) -> "Database":
+        """An independent copy — O(tables) with ``cow`` (the default),
+        O(rows) eager otherwise (kept for benchmarking the
+        non-incremental substrate)."""
+        clone = Database.__new__(Database)
+        clone.schema = self.schema
+        clone._tables = {
+            name: data.copy(cow=cow) for name, data in self._tables.items()
+        }
+        clone._next_tid = self._next_tid
         return clone
 
     def __repr__(self) -> str:

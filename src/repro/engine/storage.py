@@ -5,34 +5,67 @@ the whole database for its lifetime. Tids let the transition machinery
 of :mod:`repro.transitions` track the history of an individual tuple
 across multiple operations, which is what the net-effect composition
 rules of [WF90] are defined over.
+
+Copy-on-write. :meth:`TableData.copy` aliases the tid map and marks
+both sides shared; the first mutation on either side copies the map
+once. The execution-graph explorer forks the whole database at every
+branch, so snapshots are O(tables) and only tables a branch actually
+writes ever pay the O(rows) copy. The canonical form and the sorted
+row list are memoized with write-invalidated dirty bits — and both
+caches survive a copy, so a fork that never writes a table re-uses its
+parent's sort work.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.engine.values import row_sort_key
 from repro.errors import ExecutionError
 
 
-@dataclass(frozen=True)
 class Row:
     """A stored tuple: its tid and its column values (schema order)."""
 
-    tid: int
-    values: tuple
+    __slots__ = ("tid", "values")
+
+    def __init__(self, tid: int, values: tuple) -> None:
+        self.tid = tid
+        self.values = values
 
     def value(self, index: int):
         return self.values[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.tid == other.tid and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash((self.tid, self.values))
+
+    def __repr__(self) -> str:
+        return f"Row(tid={self.tid}, values={self.values!r})"
 
 
 class TableData:
     """The extension of one table: a tid-keyed map of value tuples."""
 
+    __slots__ = ("name", "arity", "_rows", "_shared", "_canonical", "_row_list")
+
     def __init__(self, name: str, arity: int) -> None:
         self.name = name
         self.arity = arity
         self._rows: dict[int, tuple] = {}
+        #: True while ``_rows`` is aliased by another TableData (copy-on-write)
+        self._shared = False
+        #: memoized canonical() — None when dirty
+        self._canonical: tuple | None = None
+        #: memoized rows() result (tid order) — None when dirty
+        self._row_list: list[Row] | None = None
+
+    def _own(self) -> None:
+        if self._shared:
+            self._rows = dict(self._rows)
+            self._shared = False
 
     def insert(self, tid: int, values: tuple) -> None:
         if len(values) != self.arity:
@@ -42,15 +75,18 @@ class TableData:
             )
         if tid in self._rows:
             raise ExecutionError(f"duplicate tid {tid} in table {self.name!r}")
+        self._own()
         self._rows[tid] = values
+        self._canonical = None
+        self._row_list = None
 
     def delete(self, tid: int) -> tuple:
-        try:
-            return self._rows.pop(tid)
-        except KeyError:
-            raise ExecutionError(
-                f"no tid {tid} in table {self.name!r}"
-            ) from None
+        if tid not in self._rows:
+            raise ExecutionError(f"no tid {tid} in table {self.name!r}")
+        self._own()
+        self._canonical = None
+        self._row_list = None
+        return self._rows.pop(tid)
 
     def update(self, tid: int, values: tuple) -> tuple:
         """Replace the values at *tid*; returns the old values."""
@@ -61,19 +97,29 @@ class TableData:
                 f"table {self.name!r} expects {self.arity} values, "
                 f"got {len(values)}"
             )
+        self._own()
         old = self._rows[tid]
         self._rows[tid] = values
+        self._canonical = None
+        self._row_list = None
         return old
 
     def get(self, tid: int) -> tuple | None:
         return self._rows.get(tid)
 
     def rows(self) -> list[Row]:
-        """All rows, in tid order (deterministic iteration)."""
-        return [Row(tid, self._rows[tid]) for tid in sorted(self._rows)]
+        """All rows, in tid order (deterministic iteration).
+
+        The returned list is cached and shared; callers must not
+        mutate it.
+        """
+        if self._row_list is None:
+            rows = self._rows
+            self._row_list = [Row(tid, rows[tid]) for tid in sorted(rows)]
+        return self._row_list
 
     def value_tuples(self) -> list[tuple]:
-        return [self._rows[tid] for tid in sorted(self._rows)]
+        return [row.values for row in self.rows()]
 
     def canonical(self) -> tuple:
         """The table's contents as a sorted bag of value tuples.
@@ -83,11 +129,29 @@ class TableData:
         checking) when they hold the same bags of tuples, regardless of
         internal surrogate ids.
         """
-        return tuple(sorted(self._rows.values(), key=row_sort_key))
+        if self._canonical is None:
+            self._canonical = tuple(
+                sorted(self._rows.values(), key=row_sort_key)
+            )
+        return self._canonical
 
-    def copy(self) -> "TableData":
+    def copy(self, cow: bool = True) -> "TableData":
+        """A copy of this table's extension.
+
+        With ``cow`` (the default) the tid map is aliased and both
+        sides marked shared — O(1), the first write on either side pays
+        the O(rows) copy. ``cow=False`` copies eagerly (the seed
+        behavior, kept for benchmarking the non-incremental substrate).
+        """
         clone = TableData(self.name, self.arity)
-        clone._rows = dict(self._rows)
+        if cow:
+            self._shared = True
+            clone._rows = self._rows
+            clone._shared = True
+            clone._canonical = self._canonical
+            clone._row_list = self._row_list
+        else:
+            clone._rows = dict(self._rows)
         return clone
 
     def __len__(self) -> int:

@@ -50,6 +50,9 @@ class ExecutionGraph:
     truncated: bool = False
     #: True if path enumeration hit its budget (streams are partial)
     streams_truncated: bool = False
+    #: complete paths enumerated by the stream phase (0 when that phase
+    #: was skipped because the graph is cyclic or truncated)
+    _path_count: int = 0
 
     @property
     def state_count(self) -> int:
@@ -80,10 +83,25 @@ class ExecutionGraph:
 
     def paths_to_final(self) -> int:
         """Number of distinct complete paths (may be exponential; capped
-        by the explorer's budget)."""
+        by the explorer's budget — partial iff ``streams_truncated``)."""
         return self._path_count
 
-    _path_count: int = 0
+    def stats(self) -> dict:
+        """Exploration counters, machine-readable (the CLI ``--json``
+        surface; mirrors the analysis engine's stats section)."""
+        return {
+            "states": self.state_count,
+            "final_states": len(self.final_states),
+            "distinct_final_databases": len(set(self.final_databases.values())),
+            "observable_streams": len(self.observable_streams),
+            "paths_to_final": self.paths_to_final(),
+            "terminates": self.terminates,
+            "confluent": self.is_confluent,
+            "observably_deterministic": self.is_observably_deterministic,
+            "has_cycle": self.has_cycle,
+            "truncated": self.truncated,
+            "streams_truncated": self.streams_truncated,
+        }
 
 
 def explore(
@@ -108,12 +126,16 @@ def explore(
     graph = ExecutionGraph(initial=initial_key)
 
     # Phase 1: build the deduplicated state graph (termination/confluence).
-    frontier: deque[tuple[RuleProcessor, int]] = deque([(initial, 0)])
+    # Frontier entries carry the state key computed at enqueue time —
+    # state_key() is memoized per processor but re-deriving the tuple
+    # for every dequeue is still O(rules).
+    frontier: deque[tuple[RuleProcessor, int, tuple]] = deque(
+        [(initial, 0, initial_key)]
+    )
     seen: dict[tuple, bool] = {initial_key: True}
 
     while frontier:
-        current, depth = frontier.popleft()
-        key = current.state_key()
+        current, depth, key = frontier.popleft()
         if key in graph.edges or key in graph.final_states:
             continue
 
@@ -136,13 +158,16 @@ def explore(
 
         successors: list[tuple[str, tuple]] = []
         for rule_name in eligible:
+            # The fork shares the parent's cached per-rule net effects,
+            # canonical fragments, and COW database pages; consider()
+            # reuses the eligibility already computed on this state.
             child = current.fork()
-            child.consider(rule_name)
+            child.consider(rule_name, eligible=eligible)
             child_key = child.state_key()
             successors.append((rule_name, child_key))
             if child_key not in seen:
                 seen[child_key] = True
-                frontier.append((child, depth + 1))
+                frontier.append((child, depth + 1, child_key))
         graph.edges[key] = successors
 
     graph.has_cycle = _has_reachable_cycle(graph)
@@ -202,13 +227,15 @@ def _collect_observable_streams(
             graph.observable_streams.add(tuple(current.observables))
             paths_done += 1
             if paths_done >= max_paths:
-                graph.streams_truncated = True
-                graph._path_count = paths_done
-                return
+                # Only a genuine cut-off counts as truncation: when the
+                # budget lands exactly on the last path the enumeration
+                # is complete and the count exact.
+                graph.streams_truncated = bool(stack)
+                break
             continue
         for rule_name in eligible:
             child = current.fork()
-            child.consider(rule_name)
+            child.consider(rule_name, eligible=eligible)
             stack.append(child)
 
     graph._path_count = paths_done

@@ -18,6 +18,18 @@ This reproduces exactly the triggering discipline described in the
 paper: "a given rule is triggered if its transition predicate holds with
 respect to the (composite) transition since the last time it was
 considered."
+
+Incremental substrate. With ``incremental=True`` (the default) the
+processor maintains one cached :class:`~repro.transitions.net_effect.NetEffect`
+per rule, advanced by :meth:`NetEffect.fold` over only the primitives
+appended since the rule's transition was last examined — each primitive
+is folded at most once per rule, instead of the whole suffix being
+refolded on every triggering check. A per-table touch index over the
+log skips rules whose table was not written since their marker without
+touching their net effect at all, and the triggering verdict itself is
+cached until the rule's table is written again. ``incremental=False``
+recomputes everything from scratch (the seed behavior); the substrate
+benchmark gate asserts both modes produce byte-identical results.
 """
 
 from __future__ import annotations
@@ -67,6 +79,82 @@ class ProcessingResult:
         return [step.rule for step in self.steps]
 
 
+@dataclass
+class ProcessorStats:
+    """Work counters for the runtime substrate (benchmark gate input).
+
+    ``primitives_folded`` counts incremental net-effect advances;
+    ``primitives_scanned`` counts from-scratch suffix refolds (the
+    non-incremental path). The substrate gate's triggering-work ratio
+    is ``scanned(incremental=False) / folded(incremental=True)`` over
+    the same workload.
+    """
+
+    trigger_checks: int = 0
+    #: triggering checks answered by the per-table touch index alone
+    touch_skips: int = 0
+    #: triggering checks answered by the cached verdict (no refold)
+    verdict_hits: int = 0
+    primitives_folded: int = 0
+    primitives_scanned: int = 0
+    forks: int = 0
+    considerations: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "trigger_checks": self.trigger_checks,
+            "touch_skips": self.touch_skips,
+            "verdict_hits": self.verdict_hits,
+            "primitives_folded": self.primitives_folded,
+            "primitives_scanned": self.primitives_scanned,
+            "forks": self.forks,
+            "considerations": self.considerations,
+        }
+
+
+class _RuleTransition:
+    """A rule's cached pending transition: the net effect of the log
+    suffix past its marker, advanced incrementally.
+
+    ``marker`` is the marker value the fold started from (stale folds —
+    the marker moved without :meth:`RuleProcessor.consider`, e.g. by the
+    tracer — are detected and rebuilt); ``position`` is the log position
+    folded up to. ``triggered``/``checked_at`` cache the triggering
+    verdict; the verdict stays valid until the rule's table is written
+    past ``checked_at``. ``canonical_at`` keys the memoized canonical
+    form used by ``state_key``.
+    """
+
+    __slots__ = (
+        "marker",
+        "position",
+        "net",
+        "triggered",
+        "checked_at",
+        "canonical",
+        "canonical_at",
+    )
+
+    def __init__(self, marker: int) -> None:
+        self.marker = marker
+        self.position = marker
+        self.net = NetEffect()
+        self.triggered: bool | None = None
+        self.checked_at = -1
+        self.canonical: tuple | None = None
+        self.canonical_at = -1
+
+    def fork(self) -> "_RuleTransition":
+        clone = _RuleTransition(self.marker)
+        clone.position = self.position
+        clone.net = self.net.share()
+        clone.triggered = self.triggered
+        clone.checked_at = self.checked_at
+        clone.canonical = self.canonical
+        clone.canonical_at = self.canonical_at
+        return clone
+
+
 class RuleProcessor:
     """Processes rules over a database at assertion points."""
 
@@ -76,6 +164,7 @@ class RuleProcessor:
         database: Database,
         strategy=None,
         max_steps: int = 10_000,
+        incremental: bool = True,
     ) -> None:
         if ruleset.schema is not database.schema:
             raise RuleProcessingError(
@@ -85,13 +174,16 @@ class RuleProcessor:
         self.database = database
         self.strategy = strategy or FirstEligibleStrategy()
         self.max_steps = max_steps
+        self.incremental = incremental
 
         self.log = DeltaLog()
         self.markers: dict[str, int] = {rule.name: 0 for rule in ruleset}
         self.observables: list[ObservableAction] = []
+        self.stats = ProcessorStats()
         self._column_names = {
             table.name: table.column_names for table in ruleset.schema
         }
+        self._transitions: dict[str, _RuleTransition] = {}
         self._transaction_snapshot = database.snapshot()
         self._rolled_back = False
 
@@ -120,26 +212,86 @@ class RuleProcessor:
     # Triggering
     # ------------------------------------------------------------------
 
+    def _transition_for(self, rule_name: str) -> _RuleTransition:
+        """The rule's cached transition, advanced to the current log end.
+
+        Each primitive is folded into a given rule's net effect at most
+        once (amortized); markers moved behind our back (the tracer
+        pokes ``markers`` directly) invalidate the fold wholesale.
+        """
+        marker = self.markers[rule_name]
+        transition = self._transitions.get(rule_name)
+        if transition is None or transition.marker != marker:
+            transition = _RuleTransition(marker)
+            self._transitions[rule_name] = transition
+        position = self.log.position
+        if transition.position < position:
+            self.stats.primitives_folded += position - transition.position
+            transition.net = transition.net.fold(
+                self.log.iter_range(transition.position, position)
+            )
+            transition.position = position
+            transition.triggered = None
+        return transition
+
     def pending_net_effect(self, rule_name: str) -> NetEffect:
         """The composite transition since *rule_name* was last considered."""
-        marker = self.markers[rule_name.lower()]
-        return NetEffect.from_primitives(self.log.since(marker))
+        rule_name = rule_name.lower()
+        if not self.incremental:
+            marker = self.markers[rule_name]
+            suffix = self.log.since(marker)
+            self.stats.primitives_scanned += len(suffix)
+            return NetEffect.from_primitives(suffix)
+        # The cached net effect escapes to the caller: mark it shared so
+        # later folds copy instead of mutating what the caller holds.
+        return self._transition_for(rule_name).net.share()
+
+    def _is_triggered(self, rule) -> bool:
+        """One rule's triggering check against its pending transition."""
+        self.stats.trigger_checks += 1
+        if not self.incremental:
+            net = self.pending_net_effect(rule.name)
+            if net.is_empty():
+                return False
+            return bool(net.operations(self._column_names) & rule.triggered_by)
+
+        marker = self.markers[rule.name]
+        last_write = self.log.last_write(rule.table)
+        if last_write <= marker:
+            # Touch index: the rule's table was not written since its
+            # marker, so its triggering transition contains no operation
+            # on that table — nothing in Triggered-By can hold. The
+            # cached net effect is not even consulted (or advanced).
+            self.stats.touch_skips += 1
+            return False
+        transition = self._transitions.get(rule.name)
+        if (
+            transition is not None
+            and transition.marker == marker
+            and transition.triggered is not None
+            and last_write <= transition.checked_at
+        ):
+            # Cached verdict: no primitive on the rule's table appeared
+            # since it was computed, so the verdict is unchanged.
+            self.stats.verdict_hits += 1
+            return transition.triggered
+        transition = self._transition_for(rule.name)
+        operations = transition.net.operations_for(
+            rule.table, self._column_names[rule.table]
+        )
+        transition.triggered = bool(operations & rule.triggered_by)
+        transition.checked_at = transition.position
+        return transition.triggered
 
     def triggered_rules(self) -> tuple[str, ...]:
         """All currently triggered rules, in definition order."""
         if self._rolled_back:
             return ()
-        triggered = []
-        for rule in self.ruleset:
-            if not self.ruleset.is_active(rule.name):
-                continue
-            net = self.pending_net_effect(rule.name)
-            if net.is_empty():
-                continue
-            operations = net.operations(self._column_names)
-            if operations & rule.triggered_by:
-                triggered.append(rule.name)
-        return tuple(triggered)
+        return tuple(
+            rule.name
+            for rule in self.ruleset
+            if self.ruleset.is_active(rule.name) and self._is_triggered(rule)
+        )
 
     def eligible_rules(self) -> tuple[str, ...]:
         """``Choose`` applied to the current triggered set."""
@@ -149,17 +301,25 @@ class RuleProcessor:
     # Consideration of a single rule
     # ------------------------------------------------------------------
 
-    def consider(self, rule_name: str) -> ConsiderationOutcome:
+    def consider(
+        self, rule_name: str, *, eligible: tuple[str, ...] | None = None
+    ) -> ConsiderationOutcome:
         """Consider one rule: check its condition, maybe run its action.
 
         The caller must pass a currently eligible rule (this is checked).
+        A caller that just computed :meth:`eligible_rules` passes it as
+        *eligible* so the scan is not repeated; the membership check
+        against the provided tuple is O(|eligible|).
         """
         rule_name = rule_name.lower()
-        if rule_name not in self.eligible_rules():
+        if eligible is None:
+            eligible = self.eligible_rules()
+        if rule_name not in eligible:
             raise RuleProcessingError(
                 f"rule {rule_name!r} is not eligible for consideration"
             )
         rule = self.ruleset.rule(rule_name)
+        self.stats.considerations += 1
 
         triggering_net = self.pending_net_effect(rule_name)
         overlays = transition_table_overlays(
@@ -171,6 +331,7 @@ class RuleProcessor:
         # sees its own action's operations as a fresh transition (and may
         # re-trigger itself), per Section 2.
         self.markers[rule_name] = self.log.position
+        self._transitions[rule_name] = _RuleTransition(self.log.position)
 
         condition_true = True
         if rule.condition is not None:
@@ -244,8 +405,10 @@ class RuleProcessor:
         while True:
             eligible = self.eligible_rules()
             if not eligible:
+                position = self.log.position
                 for name in self.markers:
-                    self.markers[name] = self.log.position
+                    self.markers[name] = position
+                self._transitions.clear()
                 outcome = "rolled_back" if self._rolled_back else "quiescent"
                 return ProcessingResult(
                     outcome=outcome,
@@ -255,11 +418,21 @@ class RuleProcessor:
             if len(steps) >= self.max_steps:
                 raise RuleProcessingLimitExceeded(self.max_steps)
             chosen = self.strategy.choose(eligible)
-            steps.append(self.consider(chosen))
+            steps.append(self.consider(chosen, eligible=eligible))
 
     # ------------------------------------------------------------------
     # State identity and forking (used by the execution-graph explorer)
     # ------------------------------------------------------------------
+
+    def _pending_canonical(self, rule_name: str) -> tuple:
+        """Canonical pending transition, memoized per fold position."""
+        if not self.incremental:
+            return self.pending_net_effect(rule_name).canonical()
+        transition = self._transition_for(rule_name)
+        if transition.canonical_at != transition.position:
+            transition.canonical = transition.net.canonical()
+            transition.canonical_at = transition.position
+        return transition.canonical
 
     def state_key(self) -> tuple:
         """A hashable canonical key for the execution-graph state (D, TR).
@@ -268,9 +441,13 @@ class RuleProcessor:
         triggered ones): a pending-but-not-yet-triggering composite
         transition influences future triggering, so states that differ
         there must not be merged.
+
+        Canonical fragments are memoized: per-table database canonicals
+        carry across copy-on-write forks until the table is written, and
+        per-rule pending canonicals until the rule's fold advances.
         """
         pending = tuple(
-            (rule.name, self.pending_net_effect(rule.name).canonical())
+            (rule.name, self._pending_canonical(rule.name))
             for rule in self.ruleset
         )
         return (self._rolled_back, self.database.canonical(), pending)
@@ -289,24 +466,42 @@ class RuleProcessor:
         """
         triggered = self.triggered_rules()
         pending = tuple(
-            (name, self.pending_net_effect(name).canonical())
-            for name in triggered
+            (name, self._pending_canonical(name)) for name in triggered
         )
         return (self._rolled_back, self.database.canonical(), pending)
 
     def fork(self) -> "RuleProcessor":
-        """An independent deep copy sharing the rule set (which is immutable
-        during processing)."""
+        """An independent copy sharing the rule set (which is immutable
+        during processing).
+
+        With the incremental substrate this is O(tables + chunks +
+        rules): the database copy is copy-on-write, the log aliases its
+        sealed chunks, and the cached per-rule transitions (net effects,
+        triggering verdicts, canonical fragments) are shared with the
+        child, diverging copy-on-write at the first fold that touches
+        them. ``incremental=False`` performs the original deep copies.
+        """
+        self.stats.forks += 1
         clone = RuleProcessor.__new__(RuleProcessor)
         clone.ruleset = self.ruleset
-        clone.database = self.database.copy()
         clone.strategy = self.strategy
         clone.max_steps = self.max_steps
-        clone.log = DeltaLog()
-        clone.log._primitives = self.log.all()
+        clone.incremental = self.incremental
         clone.markers = dict(self.markers)
         clone.observables = list(self.observables)
+        clone.stats = self.stats
         clone._column_names = self._column_names
         clone._transaction_snapshot = self._transaction_snapshot
         clone._rolled_back = self._rolled_back
+        if self.incremental:
+            clone.database = self.database.copy()
+            clone.log = self.log.fork()
+            clone._transitions = {
+                name: transition.fork()
+                for name, transition in self._transitions.items()
+            }
+        else:
+            clone.database = self.database.copy(cow=False)
+            clone.log = self.log.fork(share=False)
+            clone._transitions = {}
         return clone

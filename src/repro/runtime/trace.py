@@ -92,7 +92,7 @@ def trace_run(
             processor.pending_net_effect(chosen)
         )
         observables_at = len(processor.observables)
-        outcome = processor.consider(chosen)
+        outcome = processor.consider(chosen, eligible=eligible)
         steps.append(outcome)
         new_observables = tuple(
             str(action)

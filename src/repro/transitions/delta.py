@@ -7,29 +7,70 @@ effect of the log suffix past its marker. This reproduces the
 composite-transition bookkeeping of Section 2: rules not yet considered
 see operations folded into the transition that first triggered them,
 while a rule already considered only sees operations executed since.
+
+Representation. The log is a sequence of *sealed chunks* (immutable
+tuples of primitives, shared structurally between forks) followed by a
+private mutable tail. :meth:`DeltaLog.fork` seals the tail and aliases
+the chunk list, so forking a processor mid-exploration is O(chunks)
+regardless of how many primitives the log holds — the execution-graph
+explorer forks at every branch, and used to pay O(log) per fork.
+
+The log also maintains a per-table *touch index* (:meth:`last_write`):
+the position just past the most recent primitive on each table. The
+rule processor uses it to skip triggering checks for rules whose table
+was not written since their marker, without folding anything.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True)
 class Primitive:
     """One tuple-level operation, as executed (not net-effect composed).
 
     ``kind`` is ``"I"``, ``"D"`` or ``"U"``. ``old`` is None for inserts;
     ``new`` is None for deletes.
+
+    This is the hot-path record type — one instance per tuple touched by
+    any statement — so construction performs no validation: the three
+    typed ``DeltaLog.record_*`` constructors enforce the shape invariants
+    by their signatures. Use :meth:`checked` for the validating path
+    (deserialization, hand-built test fixtures).
     """
 
-    seq: int
-    kind: str
-    table: str
-    tid: int
-    old: tuple | None
-    new: tuple | None
+    __slots__ = ("seq", "kind", "table", "tid", "old", "new")
 
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        table: str,
+        tid: int,
+        old: tuple | None,
+        new: tuple | None,
+    ) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.table = table
+        self.tid = tid
+        self.old = old
+        self.new = new
+
+    @classmethod
+    def checked(
+        cls,
+        seq: int,
+        kind: str,
+        table: str,
+        tid: int,
+        old: tuple | None,
+        new: tuple | None,
+    ) -> "Primitive":
+        """The validating constructor (deserialization / fixtures)."""
+        primitive = cls(seq, kind, table, tid, old, new)
+        primitive.validate()
+        return primitive
+
+    def validate(self) -> None:
         if self.kind not in ("I", "D", "U"):
             raise ValueError(f"bad primitive kind {self.kind!r}")
         if self.kind == "I" and (self.old is not None or self.new is None):
@@ -39,17 +80,48 @@ class Primitive:
         if self.kind == "U" and (self.old is None or self.new is None):
             raise ValueError("update primitive needs old and new values")
 
+    def _astuple(self) -> tuple:
+        return (self.seq, self.kind, self.table, self.tid, self.old, self.new)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Primitive):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"Primitive(seq={self.seq}, kind={self.kind!r}, "
+            f"table={self.table!r}, tid={self.tid}, old={self.old!r}, "
+            f"new={self.new!r})"
+        )
+
 
 class DeltaLog:
-    """An append-only log of primitives with stable positions."""
+    """An append-only log of primitives with stable positions.
+
+    Positions are stable across :meth:`fork`: a marker taken on the
+    parent indexes the same primitives on every fork.
+    """
+
+    __slots__ = ("_chunks", "_base", "_tail", "_last_write")
 
     def __init__(self) -> None:
-        self._primitives: list[Primitive] = []
+        #: sealed, immutable chunks — structurally shared between forks
+        self._chunks: list[tuple[Primitive, ...]] = []
+        #: total number of primitives across sealed chunks
+        self._base = 0
+        #: private mutable tail (never shared)
+        self._tail: list[Primitive] = []
+        #: table -> position just past its most recent primitive
+        self._last_write: dict[str, int] = {}
 
     @property
     def position(self) -> int:
         """The current end-of-log position (a marker value)."""
-        return len(self._primitives)
+        return self._base + len(self._tail)
 
     def record_insert(self, table: str, tid: int, values: tuple) -> Primitive:
         return self._append("I", table, tid, None, values)
@@ -70,29 +142,97 @@ class DeltaLog:
         old: tuple | None,
         new: tuple | None,
     ) -> Primitive:
-        primitive = Primitive(
-            seq=len(self._primitives),
-            kind=kind,
-            table=table.lower(),
-            tid=tid,
-            old=old,
-            new=new,
-        )
-        self._primitives.append(primitive)
+        table = table.lower()
+        position = self._base + len(self._tail)
+        primitive = Primitive(position, kind, table, tid, old, new)
+        self._tail.append(primitive)
+        self._last_write[table] = position + 1
         return primitive
+
+    # ------------------------------------------------------------------
+    # Structural sharing
+    # ------------------------------------------------------------------
+
+    def seal(self) -> None:
+        """Freeze the mutable tail into an immutable shared chunk."""
+        if self._tail:
+            self._chunks.append(tuple(self._tail))
+            self._base += len(self._tail)
+            self._tail = []
+
+    def fork(self, share: bool = True) -> "DeltaLog":
+        """An independent log holding the same primitives.
+
+        With ``share`` (the default) the prefix is aliased in O(chunks);
+        appends on either side stay private. ``share=False`` performs
+        the flat O(n) copy of the pre-chunked representation (kept for
+        benchmarking the non-incremental substrate).
+        """
+        clone = DeltaLog()
+        if share:
+            self.seal()
+            clone._chunks = list(self._chunks)
+            clone._base = self._base
+        else:
+            clone._chunks = [tuple(self._iter_all())] if self.position else []
+            clone._base = self.position
+        clone._last_write = dict(self._last_write)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _iter_all(self):
+        for chunk in self._chunks:
+            yield from chunk
+        yield from self._tail
+
+    def iter_range(self, start: int, stop: int):
+        """Iterate primitives with ``start <= position < stop``."""
+        if start < 0:
+            raise ValueError("marker must be non-negative")
+        if start >= stop:
+            return
+        offset = 0
+        for chunk in self._chunks:
+            end = offset + len(chunk)
+            if end > start:
+                lo = max(0, start - offset)
+                hi = min(len(chunk), stop - offset)
+                yield from chunk[lo:hi]
+                if end >= stop:
+                    return
+            offset = end
+        lo = max(0, start - self._base)
+        hi = stop - self._base
+        yield from self._tail[lo:hi]
 
     def since(self, marker: int) -> list[Primitive]:
         """The primitives appended at or after log position *marker*."""
         if marker < 0:
             raise ValueError("marker must be non-negative")
-        return self._primitives[marker:]
+        return list(self.iter_range(marker, self.position))
 
     def all(self) -> list[Primitive]:
-        return list(self._primitives)
+        return list(self._iter_all())
+
+    def last_write(self, table: str) -> int:
+        """Position just past the most recent primitive on *table*
+        (0 if the table was never written)."""
+        return self._last_write.get(table, 0)
 
     def truncate(self, position: int) -> None:
         """Discard primitives past *position* (used by rollback restore)."""
-        del self._primitives[position:]
+        if position >= self.position:
+            return
+        kept = list(self.iter_range(0, position))
+        self._chunks = []
+        self._base = 0
+        self._tail = kept
+        self._last_write = {}
+        for primitive in kept:
+            self._last_write[primitive.table] = primitive.seq + 1
 
     def __len__(self) -> int:
-        return len(self._primitives)
+        return self.position

@@ -8,23 +8,47 @@ composition) vanish from the net effect: a sequence of updates that
 restores a tuple's original values triggers nothing — which is also what
 makes rule *untriggering* (Section 3's ``Can-Untrigger``) possible at
 the tuple level.
+
+Incrementality. Because tids are unique for a tuple's lifetime,
+net-effect composition is associative over log suffixes *including* the
+compaction steps (dropping identity updates and empty tables): an
+identity composite update means the tuple currently holds its
+pre-transition values, so folding later primitives onto the compacted
+state yields exactly the from-scratch result. :meth:`NetEffect.fold`
+exploits this: the rule processor keeps one cached net effect per rule
+and advances it by only the primitives appended since the last check,
+instead of refolding the whole suffix. Folds are copy-on-write at table
+granularity — a fold touching table ``t`` leaves every other table's
+:class:`TableNetEffect` structurally shared with the input — so forked
+processors alias their parents' cached transitions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.transitions.delta import Primitive
 
 
-@dataclass
 class TableNetEffect:
     """The net effect of a transition on a single table."""
 
-    table: str
-    inserted: dict[int, tuple] = field(default_factory=dict)
-    deleted: dict[int, tuple] = field(default_factory=dict)
-    updated: dict[int, tuple[tuple, tuple]] = field(default_factory=dict)
+    __slots__ = ("table", "inserted", "deleted", "updated", "_owned", "_canonical")
+
+    def __init__(
+        self,
+        table: str,
+        inserted: dict[int, tuple] | None = None,
+        deleted: dict[int, tuple] | None = None,
+        updated: dict[int, tuple[tuple, tuple]] | None = None,
+    ) -> None:
+        self.table = table
+        self.inserted = inserted if inserted is not None else {}
+        self.deleted = deleted if deleted is not None else {}
+        self.updated = updated if updated is not None else {}
+        #: False once this effect is structurally shared (a fold must
+        #: copy it before mutating)
+        self._owned = True
+        #: memoized canonical() — invalidated on mutation
+        self._canonical: tuple | None = None
 
     def is_empty(self) -> bool:
         return not (self.inserted or self.deleted or self.updated)
@@ -47,16 +71,48 @@ class TableNetEffect:
         delete and update the same bags of values are the same
         transition for state-identity purposes.
         """
-        return (
+        if self._canonical is None:
+            self._canonical = (
+                self.table,
+                tuple(sorted(self.inserted.values(), key=_row_key)),
+                tuple(sorted(self.deleted.values(), key=_row_key)),
+                tuple(
+                    sorted(
+                        self.updated.values(),
+                        key=lambda pair: (
+                            _row_key(pair[0]),
+                            _row_key(pair[1]),
+                        ),
+                    )
+                ),
+            )
+        return self._canonical
+
+    def _copy(self) -> "TableNetEffect":
+        clone = TableNetEffect(
             self.table,
-            tuple(sorted(self.inserted.values(), key=_row_key)),
-            tuple(sorted(self.deleted.values(), key=_row_key)),
-            tuple(
-                sorted(
-                    self.updated.values(),
-                    key=lambda pair: (_row_key(pair[0]), _row_key(pair[1])),
-                )
-            ),
+            dict(self.inserted),
+            dict(self.deleted),
+            dict(self.updated),
+        )
+        clone._canonical = self._canonical
+        return clone
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TableNetEffect):
+            return NotImplemented
+        return (
+            self.table == other.table
+            and self.inserted == other.inserted
+            and self.deleted == other.deleted
+            and self.updated == other.updated
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TableNetEffect(table={self.table!r}, "
+            f"inserted={self.inserted!r}, deleted={self.deleted!r}, "
+            f"updated={self.updated!r})"
         )
 
 
@@ -69,37 +125,79 @@ def _row_key(values: tuple) -> tuple:
 class NetEffect:
     """The net effect of a transition across all tables."""
 
+    __slots__ = ("_tables",)
+
     def __init__(self, tables: dict[str, TableNetEffect] | None = None) -> None:
         self._tables = tables or {}
 
     @classmethod
-    def from_primitives(cls, primitives: list[Primitive]) -> "NetEffect":
+    def from_primitives(cls, primitives) -> "NetEffect":
         """Fold *primitives* (in sequence order) into their net effect."""
-        tables: dict[str, TableNetEffect] = {}
-        for primitive in primitives:
-            effect = tables.get(primitive.table)
-            if effect is None:
-                effect = TableNetEffect(primitive.table)
-                tables[primitive.table] = effect
-            _fold(effect, primitive)
+        return cls().fold(primitives)
 
-        # Drop identity composite updates and empty tables.
-        for effect in tables.values():
-            identity = [
-                tid
-                for tid, (old, new) in effect.updated.items()
-                if old == new
-            ]
-            for tid in identity:
+    def fold(self, primitives) -> "NetEffect":
+        """This net effect advanced by *primitives* (in sequence order).
+
+        Equivalent to refolding the full underlying sequence from
+        scratch, in time proportional to ``len(primitives)`` plus the
+        pending state of the touched tables. Copy-on-write: untouched
+        tables are shared with ``self``; touched tables are copied
+        first unless ``self`` still owns them (see :meth:`share`).
+        Ownership of mutated state transfers to the result — after a
+        fold, use the returned net effect, not ``self``.
+        """
+        tables = self._tables
+        result: dict[str, TableNetEffect] | None = None
+        touched: set[str] = set()
+        #: (table, tid) pairs whose composite update this fold modified —
+        #: the only entries that can have become identity updates
+        updated_tids: set[tuple[str, int]] = set()
+        for primitive in primitives:
+            if result is None:
+                result = dict(tables)
+            name = primitive.table
+            effect = result.get(name)
+            if effect is None:
+                effect = TableNetEffect(name)
+                result[name] = effect
+            elif name not in touched and not effect._owned:
+                effect = effect._copy()
+                result[name] = effect
+            touched.add(name)
+            effect._canonical = None
+            _fold(effect, primitive)
+            if primitive.kind == "U" and primitive.tid in effect.updated:
+                updated_tids.add((name, primitive.tid))
+
+        if result is None:
+            return self
+
+        # Compact: identity composite updates and empty table effects
+        # vanish from the net effect. Only entries this fold modified
+        # can have become identity, so compaction is O(new primitives).
+        for name, tid in updated_tids:
+            effect = result[name]
+            pair = effect.updated.get(tid)
+            if pair is not None and pair[0] == pair[1]:
                 del effect.updated[tid]
-        tables = {
-            name: effect for name, effect in tables.items() if not effect.is_empty()
-        }
-        return cls(tables)
+        for name in touched:
+            if result[name].is_empty():
+                del result[name]
+        return NetEffect(result)
+
+    def share(self) -> "NetEffect":
+        """Mark every table effect shared; later folds copy-on-write.
+
+        Called when a cached net effect escapes its owner (processor
+        forks, ``pending_net_effect`` returns to a caller).
+        """
+        for effect in self._tables.values():
+            effect._owned = False
+        return self
 
     def table(self, name: str) -> TableNetEffect:
         """The (possibly empty) net effect on table *name*."""
-        return self._tables.get(name.lower(), TableNetEffect(name.lower()))
+        return self._tables.get(name.lower()) or TableNetEffect(name.lower())
 
     @property
     def tables(self) -> tuple[str, ...]:
@@ -119,17 +217,33 @@ class NetEffect:
         a composite update. *column_names_of* maps table name to its
         column-name tuple (needed to name updated columns).
         """
+        operations: set = set()
+        for name in self._tables:
+            operations |= self.operations_for(name, column_names_of[name])
+        return frozenset(operations)
+
+    def operations_for(
+        self, table: str, column_names: tuple[str, ...]
+    ) -> frozenset:
+        """The operation set restricted to *table*.
+
+        Rules trigger only on operations of their own table, so the
+        processor's triggering check needs just this slice — O(pending
+        effect on one table) instead of O(pending effect overall).
+        """
         from repro.rules.events import TriggerEvent
 
+        effect = self._tables.get(table)
+        if effect is None:
+            return frozenset()
         operations: set = set()
-        for name, effect in self._tables.items():
-            if effect.inserted:
-                operations.add(TriggerEvent.insert(name))
-            if effect.deleted:
-                operations.add(TriggerEvent.delete(name))
-            if effect.updated:
-                for column in effect.updated_columns(column_names_of[name]):
-                    operations.add(TriggerEvent.update(name, column))
+        if effect.inserted:
+            operations.add(TriggerEvent.insert(table))
+        if effect.deleted:
+            operations.add(TriggerEvent.delete(table))
+        if effect.updated:
+            for column in effect.updated_columns(column_names):
+                operations.add(TriggerEvent.update(table, column))
         return frozenset(operations)
 
     def canonical(self) -> tuple:

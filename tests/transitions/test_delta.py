@@ -6,26 +6,96 @@ from repro.transitions.delta import DeltaLog, Primitive
 
 
 class TestPrimitiveValidation:
+    """Shape invariants live on the validating `checked` constructor —
+    the hot append path (the typed `DeltaLog.record_*` constructors)
+    enforces them by signature and skips runtime validation."""
+
     def test_insert_shape(self):
-        Primitive(0, "I", "t", 1, None, (1,))
+        Primitive.checked(0, "I", "t", 1, None, (1,))
         with pytest.raises(ValueError):
-            Primitive(0, "I", "t", 1, (1,), (1,))
+            Primitive.checked(0, "I", "t", 1, (1,), (1,))
         with pytest.raises(ValueError):
-            Primitive(0, "I", "t", 1, None, None)
+            Primitive.checked(0, "I", "t", 1, None, None)
 
     def test_delete_shape(self):
-        Primitive(0, "D", "t", 1, (1,), None)
+        Primitive.checked(0, "D", "t", 1, (1,), None)
         with pytest.raises(ValueError):
-            Primitive(0, "D", "t", 1, None, (1,))
+            Primitive.checked(0, "D", "t", 1, None, (1,))
 
     def test_update_shape(self):
-        Primitive(0, "U", "t", 1, (1,), (2,))
+        Primitive.checked(0, "U", "t", 1, (1,), (2,))
         with pytest.raises(ValueError):
-            Primitive(0, "U", "t", 1, (1,), None)
+            Primitive.checked(0, "U", "t", 1, (1,), None)
 
     def test_bad_kind(self):
         with pytest.raises(ValueError, match="bad primitive kind"):
-            Primitive(0, "X", "t", 1, None, (1,))
+            Primitive.checked(0, "X", "t", 1, None, (1,))
+
+    def test_lean_layout(self):
+        # One instance per tuple touched: no per-instance __dict__.
+        assert not hasattr(Primitive(0, "I", "t", 1, None, (1,)), "__dict__")
+
+    def test_value_equality(self):
+        assert Primitive(0, "I", "t", 1, None, (1,)) == Primitive.checked(
+            0, "I", "t", 1, None, (1,)
+        )
+
+
+class TestDeltaLogSharing:
+    def test_fork_aliases_prefix(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        log.record_insert("t", 2, (2,))
+        clone = log.fork()
+        assert clone.position == 2
+        assert clone.all() == log.all()
+        # Appends stay private to each side.
+        log.record_insert("t", 3, (3,))
+        clone.record_insert("u", 9, (9,))
+        assert [p.tid for p in log.all()] == [1, 2, 3]
+        assert [p.tid for p in clone.all()] == [1, 2, 9]
+
+    def test_fork_flat_copy_mode(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        clone = log.fork(share=False)
+        assert clone.all() == log.all()
+        clone.record_insert("t", 2, (2,))
+        assert log.position == 1
+
+    def test_since_spans_sealed_chunks(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        log.seal()
+        log.record_insert("t", 2, (2,))
+        log.fork()  # seals again
+        log.record_insert("t", 3, (3,))
+        assert [p.tid for p in log.since(1)] == [2, 3]
+        assert [p.tid for p in log.since(0)] == [1, 2, 3]
+        assert list(log.iter_range(1, 2))[0].tid == 2
+
+    def test_touch_index_tracks_last_write(self):
+        log = DeltaLog()
+        assert log.last_write("t") == 0
+        log.record_insert("t", 1, (1,))
+        log.record_insert("u", 2, (2,))
+        assert log.last_write("t") == 1
+        assert log.last_write("u") == 2
+        clone = log.fork()
+        clone.record_insert("t", 3, (3,))
+        assert clone.last_write("t") == 3
+        assert log.last_write("t") == 1
+
+    def test_truncate_across_chunks_rebuilds_touch_index(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        log.record_insert("u", 2, (2,))
+        log.seal()
+        log.record_insert("u", 3, (3,))
+        log.truncate(1)
+        assert log.position == 1
+        assert log.last_write("t") == 1
+        assert log.last_write("u") == 0
 
 
 class TestDeltaLog:
