@@ -309,6 +309,7 @@ class RuleAnalyzer:
         *,
         refine: bool = False,
         granularity: str = "column",
+        column_dataflow: bool = False,
         parallel: bool | None = None,
         parallel_threshold: int = 48,
         engine: AnalysisEngine | None = None,
@@ -318,11 +319,13 @@ class RuleAnalyzer:
                 ruleset,
                 refine=refine,
                 granularity=granularity,
+                column_dataflow=column_dataflow,
                 parallel=parallel,
                 parallel_threshold=parallel_threshold,
             )
         self.engine = engine
         self.refine = engine.refine
+        self.column_dataflow = engine.column_dataflow
 
     # ------------------------------------------------------------------
     # Engine-backed component access (backward-compatible attributes)
@@ -417,12 +420,16 @@ class RuleAnalyzer:
                 lambda g=group_list: self.analyze_partial_confluence(g),
             )
             partial[analysis.tables] = analysis
+        stats = self.engine.stats.snapshot().to_dict()
+        stats["pair_pruning"] = timed(
+            "pair_pruning", self.engine.pair_pruning_counts
+        )
         return AnalysisReport(
             termination=termination,
             confluence=confluence,
             observable_determinism=observable,
             partial_confluence=partial,
-            stats=self.engine.stats.snapshot().to_dict(),
+            stats=stats,
             timings=timings,
         )
 

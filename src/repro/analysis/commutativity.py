@@ -76,6 +76,16 @@ class CommutativityAnalyzer:
       different literals (and neither assigns that column, nor touches
       the table any other way), their row sets are fixed and disjoint,
       so conditions 3/5 do not fire for that table.
+
+    ``column_dataflow`` swaps condition 3's read sets for the
+    attribute-level footprints of :mod:`repro.analysis.dataflow`: update
+    events are tested against the value-sensitive ``ColumnReads`` (so
+    an ``exists (select * from t ...)`` no longer conflicts with updates
+    of ``t``'s unexamined columns) while insert/delete events are tested
+    against ``ColumnReads``' tables ∪ ``RowReadTables`` (so existence
+    reads still see row insertion/removal). Strictly pruning relative to
+    the default, and composable with ``refine``. Requires
+    ``granularity="column"``.
     """
 
     def __init__(
@@ -84,6 +94,7 @@ class CommutativityAnalyzer:
         granularity: str = "column",
         refine: bool = False,
         *,
+        column_dataflow: bool = False,
         cache: dict[frozenset[str], tuple[NoncommutativityReason, ...]]
         | None = None,
         stats=None,
@@ -91,9 +102,15 @@ class CommutativityAnalyzer:
     ) -> None:
         if granularity not in ("column", "table"):
             raise ValueError("granularity must be 'column' or 'table'")
+        if column_dataflow and granularity != "column":
+            raise ValueError(
+                "column_dataflow requires granularity='column' (the "
+                "dataflow pass refines the column-level conditions)"
+            )
         self.definitions = definitions
         self.granularity = granularity
         self.refine = refine
+        self.column_dataflow = column_dataflow
         self._certified: set[frozenset[str]] = set()
         #: raw Lemma 6.1 verdict memo; injectable so an engine (and its
         #: restricted sub-engines) can share one content-addressed store
@@ -251,9 +268,20 @@ class CommutativityAnalyzer:
         else:
             disjoint_tables = frozenset()
 
-        # Condition 3: ri's operations can affect what rj reads.
-        reads_j = defs.reads(rj)
-        read_tables_j = {table for table, __ in reads_j}
+        # Condition 3: ri's operations can affect what rj reads. With
+        # the attribute-level dataflow pass enabled, an update event
+        # only interferes when rj's behavior depends on the *value* of
+        # the updated column (ColumnReads); insert/delete events keep
+        # interfering with row-membership reads (RowReadTables), which
+        # keeps the refinement sound for existence-only reads like
+        # ``exists (select * ...)`` and ``count(*)``.
+        if self.column_dataflow:
+            footprint_j = defs.dataflow(rj)
+            reads_j = footprint_j.column_reads
+            read_tables_j = set(footprint_j.read_tables)
+        else:
+            reads_j = defs.reads(rj)
+            read_tables_j = {table for table, __ in reads_j}
         for event in sorted(performs_i, key=str):
             affected = False
             if event.kind in ("I", "D") and event.table in read_tables_j:

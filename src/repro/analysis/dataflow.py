@@ -1,0 +1,296 @@
+"""Attribute-level dataflow analysis of rule programs.
+
+Section 6.1 of the paper closes with an invitation: "the syntactic
+conditions we use could be refined with finer semantic information".
+This module is that refinement for the *attribute* (column) dimension.
+For every rule it computes three sets, all purely syntactic and all
+conservative:
+
+* ``Writes(r)`` — ``(table, column, op-kind)`` triples covering every
+  column the rule's action can modify: an UPDATE writes exactly its
+  assigned columns (kind ``U``); an INSERT materialises whole rows, so
+  it writes every column of its target (kind ``I``); a DELETE removes
+  whole rows, likewise every column (kind ``D``).
+
+* ``ColumnReads(r)`` — ``(table, column)`` pairs whose *values* the
+  rule's behavior depends on. This is strictly sharper than the
+  Section 3 ``Reads`` of :mod:`repro.analysis.derived`: a ``SELECT *``
+  (or ``count(*)``) appearing where only row *existence* matters — an
+  ``EXISTS`` subquery, or an aggregate over row counts — contributes no
+  column reads at all, because updating a column value can never change
+  which rows exist.
+
+* ``RowReadTables(r)`` — tables whose row *membership* the rule depends
+  on: every FROM table of every select it evaluates (with transition
+  tables resolved to the rule's own table, as in ``Reads``). Inserts
+  and deletes into these tables can affect the rule even when no column
+  value is read — this is what keeps the refinement *sound*:
+  ``count(*)`` reads no column, but its table still lands here. Target
+  tables of the rule's own UPDATE/DELETE statements are deliberately
+  *not* membership reads: insert interference with them is exactly
+  Lemma 6.1 condition 4, and delete interference is covered by the
+  WHERE-clause column reads (an unconditional write commutes with row
+  removal).
+
+The split powers the refined Lemma 6.1 overlap tests in
+:mod:`repro.analysis.commutativity` (``column_dataflow=True``): an
+update event ``(U, t.c)`` interferes with a reader only when ``(t, c)``
+is in the reader's ``ColumnReads``, while insert/delete events check
+table membership against ``ColumnReads``' tables ∪ ``RowReadTables``.
+The lint passes of :mod:`repro.lint` reuse ``Writes``/``ColumnReads``
+for dead-write detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.rules.rule import Rule
+
+# The scope machinery of the Section 3 Reads computation is reused
+# verbatim: binding resolution (aliases, transition tables, unqualified
+# columns) must agree between the coarse and refined read sets.
+from repro.analysis.derived import _bind_table, _Scope
+
+
+@dataclass(frozen=True, order=True)
+class Write:
+    """One element of ``Writes(r)``: a column the action may modify.
+
+    ``kind`` is the modifying operation: ``"I"`` (the column is filled
+    by an inserted row), ``"D"`` (the column disappears with a deleted
+    row), or ``"U"`` (the column is assigned by an update).
+    """
+
+    table: str
+    column: str
+    kind: str
+
+    def __str__(self) -> str:
+        return f"({self.kind}, {self.table}.{self.column})"
+
+
+@dataclass(frozen=True)
+class RuleDataflow:
+    """The attribute-level footprint of one rule."""
+
+    writes: frozenset[Write]
+    column_reads: frozenset[tuple[str, str]]
+    row_read_tables: frozenset[str]
+
+    @property
+    def written_columns(self) -> frozenset[tuple[str, str]]:
+        return frozenset((w.table, w.column) for w in self.writes)
+
+    @property
+    def read_tables(self) -> frozenset[str]:
+        """Every table the rule is sensitive to: column-value reads and
+        row-membership reads combined."""
+        return (
+            frozenset(table for table, __ in self.column_reads)
+            | self.row_read_tables
+        )
+
+
+def rule_dataflow(rule: Rule) -> RuleDataflow:
+    """Compute the full attribute-level footprint of *rule*."""
+    return RuleDataflow(
+        writes=compute_writes(rule),
+        column_reads=compute_column_reads(rule),
+        row_read_tables=compute_row_read_tables(rule),
+    )
+
+
+# ----------------------------------------------------------------------
+# Writes
+# ----------------------------------------------------------------------
+
+
+def compute_writes(rule: Rule) -> frozenset[Write]:
+    """``Writes(r)`` as ``(table, column, op-kind)`` triples."""
+    writes: set[Write] = set()
+    for action in rule.actions:
+        if isinstance(action, ast.Insert):
+            table = action.table.lower()
+            for column in rule.schema.table(table).column_names:
+                writes.add(Write(table, column, "I"))
+        elif isinstance(action, ast.Delete):
+            table = action.table.lower()
+            for column in rule.schema.table(table).column_names:
+                writes.add(Write(table, column, "D"))
+        elif isinstance(action, ast.Update):
+            table = action.table.lower()
+            for assignment in action.assignments:
+                writes.add(Write(table, assignment.column.lower(), "U"))
+    return frozenset(writes)
+
+
+# ----------------------------------------------------------------------
+# Column reads (value-sensitive) and row reads (membership-sensitive)
+# ----------------------------------------------------------------------
+
+
+def compute_column_reads(rule: Rule) -> frozenset[tuple[str, str]]:
+    """``ColumnReads(r)``: the ``(table, column)`` pairs whose values the
+    rule depends on.
+
+    Differs from the Section 3 ``Reads`` exactly where only existence
+    matters: an ``EXISTS (SELECT * ...)`` contributes its WHERE / GROUP
+    BY / HAVING columns but not the starred output, and ``count(*)``
+    contributes nothing (its value is pure row membership, tracked by
+    :func:`compute_row_read_tables`).
+    """
+    reads: set[tuple[str, str]] = set()
+    root = _Scope()
+
+    if rule.condition is not None:
+        _column_reads_of_expression(rule.condition, root, rule, reads)
+
+    for action in rule.actions:
+        if isinstance(action, ast.Select):
+            # An action select is observable output: every produced
+            # column is genuinely read.
+            _column_reads_of_select(
+                action, root, rule, reads, output_matters=True
+            )
+        elif isinstance(action, ast.Insert):
+            scope = _Scope(outer=root)
+            for row in action.rows:
+                for value in row:
+                    _column_reads_of_expression(value, scope, rule, reads)
+            if action.query is not None:
+                # The selected values become the inserted row: read.
+                _column_reads_of_select(
+                    action.query, root, rule, reads, output_matters=True
+                )
+        elif isinstance(action, ast.Delete):
+            scope = _Scope(outer=root)
+            _bind_table(scope, action.alias or action.table, action.table, rule)
+            if action.alias:
+                _bind_table(scope, action.table, action.table, rule)
+            if action.where is not None:
+                _column_reads_of_expression(action.where, scope, rule, reads)
+        elif isinstance(action, ast.Update):
+            scope = _Scope(outer=root)
+            _bind_table(scope, action.alias or action.table, action.table, rule)
+            if action.alias:
+                _bind_table(scope, action.table, action.table, rule)
+            for assignment in action.assignments:
+                _column_reads_of_expression(
+                    assignment.value, scope, rule, reads
+                )
+            if action.where is not None:
+                _column_reads_of_expression(action.where, scope, rule, reads)
+    return frozenset(reads)
+
+
+def compute_row_read_tables(rule: Rule) -> frozenset[str]:
+    """``RowReadTables(r)``: tables whose row membership the rule's
+    behavior depends on (transition tables resolved to the rule's own
+    table, mirroring ``Reads``)."""
+    tables: set[str] = set()
+
+    def resolve(name: str) -> str:
+        name = name.lower()
+        if name in ast.TRANSITION_TABLE_NAMES:
+            return rule.table
+        return name
+
+    selects: list[ast.Select] = []
+    if rule.condition is not None:
+        selects.extend(ast.subqueries_of(rule.condition))
+    for action in rule.actions:
+        selects.extend(ast.selects_of_statement(action))
+
+    for select in selects:
+        for ref in select.tables:
+            tables.add(resolve(ref.name))
+    return frozenset(tables)
+
+
+def _select_scope(
+    select: ast.Select, outer: _Scope, rule: Rule
+) -> tuple[_Scope, list[str]]:
+    scope = _Scope(outer=outer)
+    from_tables: list[str] = []
+    for ref in select.tables:
+        _bind_table(scope, ref.binding_name, ref.name, rule)
+        actual = (
+            rule.table
+            if ref.name.lower() in ast.TRANSITION_TABLE_NAMES
+            else ref.name.lower()
+        )
+        from_tables.append(actual)
+    return scope, from_tables
+
+
+def _column_reads_of_select(
+    select: ast.Select,
+    outer: _Scope,
+    rule: Rule,
+    reads: set[tuple[str, str]],
+    *,
+    output_matters: bool,
+) -> None:
+    scope, from_tables = _select_scope(select, outer, rule)
+
+    if output_matters:
+        if select.is_star:
+            for table in from_tables:
+                if rule.schema.has_table(table):
+                    for column in rule.schema.table(table).column_names:
+                        reads.add((table, column))
+        else:
+            for item in select.items:
+                _column_reads_of_expression(item.expr, scope, rule, reads)
+    # In an existence-only context the output columns are irrelevant:
+    # only the predicates deciding *which* rows exist are value reads.
+    # (DISTINCT over the items still cannot matter for existence — a
+    # nonempty result stays nonempty under DISTINCT.)
+
+    if select.where is not None:
+        _column_reads_of_expression(select.where, scope, rule, reads)
+    for key in select.group_by:
+        _column_reads_of_expression(key, scope, rule, reads)
+    if select.having is not None:
+        _column_reads_of_expression(select.having, scope, rule, reads)
+
+
+def _column_reads_of_expression(
+    expr: ast.Expression,
+    scope: _Scope,
+    rule: Rule,
+    reads: set[tuple[str, str]],
+) -> None:
+    for node in ast.walk_expression(expr):
+        if isinstance(node, ast.ColumnRef):
+            if node.table:
+                actual = scope.resolve_qualified(node.table)
+                if actual is None:
+                    if node.table.lower() in ast.TRANSITION_TABLE_NAMES:
+                        actual = rule.table
+                    else:
+                        actual = node.table.lower()
+                if rule.schema.has_table(actual) and rule.schema.table(
+                    actual
+                ).has_column(node.column):
+                    reads.add((actual, node.column.lower()))
+            else:
+                for table in scope.candidate_tables(node.column, rule):
+                    reads.add((table, node.column.lower()))
+        elif isinstance(node, ast.FuncCall) and node.star:
+            # count(*): pure row-membership — no column values read.
+            continue
+        elif isinstance(node, ast.Exists):
+            _column_reads_of_select(
+                node.subquery, scope, rule, reads, output_matters=False
+            )
+        elif isinstance(node, ast.InSubquery):
+            _column_reads_of_select(
+                node.subquery, scope, rule, reads, output_matters=True
+            )
+        elif isinstance(node, ast.ScalarSubquery):
+            _column_reads_of_select(
+                node.subquery, scope, rule, reads, output_matters=True
+            )

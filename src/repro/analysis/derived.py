@@ -25,12 +25,15 @@ name (:data:`OBS_TABLE`) cannot collide with parser-produced names.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.lang import ast
 from repro.rules.events import TriggerEvent
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.analysis.dataflow import RuleDataflow
 
 #: Name of the fictional observation-log table (Section 8). Contains a
 #: character that cannot appear in a parsed identifier, so it can never
@@ -55,6 +58,7 @@ class DerivedDefinitions:
         self._performs: dict[str, frozenset[TriggerEvent]] = {}
         self._reads: dict[str, frozenset[tuple[str, str]]] = {}
         self._observable: dict[str, bool] = {}
+        self._dataflow: dict[str, "RuleDataflow"] = {}
         for rule in ruleset:
             self._triggered_by[rule.name] = rule.triggered_by
             self._performs[rule.name] = _compute_performs(rule)
@@ -89,6 +93,33 @@ class DerivedDefinitions:
 
     def observable(self, rule: str) -> bool:
         return self._observable[rule.lower()]
+
+    def dataflow(self, rule: str) -> "RuleDataflow":
+        """The attribute-level footprint of *rule* — ``Writes``,
+        ``ColumnReads`` and ``RowReadTables`` per
+        :mod:`repro.analysis.dataflow`. Computed lazily (only analyses
+        running with ``column_dataflow`` or the lint passes need it) and
+        memoized per rule."""
+        name = rule.lower()
+        footprint = self._dataflow.get(name)
+        if footprint is None:
+            # Imported here, not at module top: dataflow reuses this
+            # module's scope machinery, so the top-level import goes the
+            # other way.
+            from repro.analysis.dataflow import rule_dataflow
+
+            footprint = self._extend_dataflow(
+                name, rule_dataflow(self.ruleset.rule(name))
+            )
+            self._dataflow[name] = footprint
+        return footprint
+
+    def _extend_dataflow(
+        self, name: str, footprint: "RuleDataflow"
+    ) -> "RuleDataflow":
+        """Hook for subclasses (the Obs extension) to widen a rule's
+        footprint before it is memoized."""
+        return footprint
 
     def can_untrigger(
         self, operations: Iterable[TriggerEvent]
@@ -129,6 +160,20 @@ class ObsExtendedDefinitions(DerivedDefinitions):
             if is_observable:
                 self._performs[name] = self._performs[name] | {obs_insert}
                 self._reads[name] = self._reads[name] | {obs_read}
+
+    def _extend_dataflow(self, name: str, footprint):
+        """Mirror the Reads/Performs extension at the attribute level:
+        an observable rule reads and appends to the fictional Obs log,
+        so any two observable rules' footprints collide on ``Obs.c``."""
+        if not self._observable[name]:
+            return footprint
+        from repro.analysis.dataflow import RuleDataflow, Write
+
+        return RuleDataflow(
+            writes=footprint.writes | {Write(OBS_TABLE, OBS_COLUMN, "I")},
+            column_reads=footprint.column_reads | {(OBS_TABLE, OBS_COLUMN)},
+            row_read_tables=footprint.row_read_tables | {OBS_TABLE},
+        )
 
 
 # ----------------------------------------------------------------------
@@ -276,14 +321,22 @@ def _reads_of_select(
                     reads.add((table, column))
     else:
         for item in select.items:
-            _reads_of_expression(item.expr, scope, rule, reads)
+            _reads_of_expression(
+                item.expr, scope, rule, reads, star_tables=from_tables
+            )
 
     if select.where is not None:
-        _reads_of_expression(select.where, scope, rule, reads)
+        _reads_of_expression(
+            select.where, scope, rule, reads, star_tables=from_tables
+        )
     for key in select.group_by:
-        _reads_of_expression(key, scope, rule, reads)
+        _reads_of_expression(
+            key, scope, rule, reads, star_tables=from_tables
+        )
     if select.having is not None:
-        _reads_of_expression(select.having, scope, rule, reads)
+        _reads_of_expression(
+            select.having, scope, rule, reads, star_tables=from_tables
+        )
 
 
 def _reads_of_expression(
@@ -291,9 +344,20 @@ def _reads_of_expression(
     scope: _Scope,
     rule: Rule,
     reads: set[tuple[str, str]],
+    star_tables: list[str] | None = None,
 ) -> None:
     for node in ast.walk_expression(expr):
-        if isinstance(node, ast.ColumnRef):
+        if isinstance(node, ast.FuncCall) and node.star:
+            # count(*) mentions no column but depends on every FROM
+            # table's row set; conservatively charge it with reading all
+            # their columns, like a bare ``select *`` (the attribute-
+            # level pass in dataflow.py tracks this more precisely as a
+            # row-membership read).
+            for table in star_tables or []:
+                if rule.schema.has_table(table):
+                    for column in rule.schema.table(table).column_names:
+                        reads.add((table, column))
+        elif isinstance(node, ast.ColumnRef):
             if node.table:
                 actual = scope.resolve_qualified(node.table)
                 if actual is None:

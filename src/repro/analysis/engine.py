@@ -169,6 +169,7 @@ class AnalysisEngine:
         *,
         refine: bool = False,
         granularity: str = "column",
+        column_dataflow: bool = False,
         parallel: bool | None = None,
         parallel_threshold: int = 48,
         max_workers: int | None = None,
@@ -179,6 +180,7 @@ class AnalysisEngine:
         self.ruleset = ruleset
         self.refine = refine
         self.granularity = granularity
+        self.column_dataflow = column_dataflow
         self.parallel = parallel
         self.parallel_threshold = parallel_threshold
         self.max_workers = max_workers or min(8, (os.cpu_count() or 2))
@@ -198,6 +200,9 @@ class AnalysisEngine:
         self._priority_snapshot = ruleset.priorities.pairs()
         self._views: dict[str, _View] = {}
         self._termination_analyzer: TerminationAnalyzer | None = None
+        #: memoized pair_pruning_counts() result; depends only on rule
+        #: content, so it is dropped on rule edits and nothing else
+        self._pruning_counts: dict[str, int] | None = None
 
     # ------------------------------------------------------------------
     # Views and component access
@@ -212,6 +217,7 @@ class AnalysisEngine:
             definitions,
             granularity=self.granularity,
             refine=self.refine,
+            column_dataflow=self.column_dataflow,
             cache=self._reason_stores[key],
             stats=self.stats,
             on_certification=lambda pair, added, _key=key: (
@@ -402,6 +408,8 @@ class AnalysisEngine:
 
         self.ruleset = ruleset
         self._fingerprints = new_fingerprints
+        if changed:
+            self._pruning_counts = None
         self._certified_commutes = {
             pair
             for pair in self._certified_commutes
@@ -467,6 +475,7 @@ class AnalysisEngine:
             self.ruleset.subset(keep),
             refine=self.refine,
             granularity=self.granularity,
+            column_dataflow=self.column_dataflow,
             parallel=self.parallel,
             parallel_threshold=self.parallel_threshold,
             max_workers=self.max_workers,
@@ -581,6 +590,52 @@ class AnalysisEngine:
         analysis = analyzer.analyze()
         self.stats.add_time("observable", time.perf_counter() - start)
         return analysis
+
+    # ------------------------------------------------------------------
+    # Precision accounting
+    # ------------------------------------------------------------------
+
+    def pair_pruning_counts(self) -> dict[str, int]:
+        """Raw noncommutative unordered-pair counts at each precision
+        tier — the coarse table ablation, the paper's column-level
+        events, and the attribute-level dataflow refinement — plus the
+        total pair count.
+
+        Quantifies how much each tier prunes: every tier is sound, so
+        ``dataflow <= column <= table`` always holds (the tiers only
+        remove noncommutativity reasons, never add them). Certifications
+        and priorities are deliberately ignored: this counts what the
+        *syntactic* analysis proves. Memoized per rule-set content (the
+        counts cannot change under certify/priority edits).
+        """
+        if self._pruning_counts is not None:
+            return dict(self._pruning_counts)
+        start = time.perf_counter()
+        definitions = self.definitions
+        names = sorted(definitions.rule_names)
+        pairs = [
+            (first, second)
+            for i, first in enumerate(names)
+            for second in names[i + 1 :]
+        ]
+        counts: dict[str, int] = {"total_pairs": len(pairs)}
+        tiers = (
+            ("table", {"granularity": "table"}),
+            ("column", {"granularity": "column"}),
+            ("dataflow", {"granularity": "column", "column_dataflow": True}),
+        )
+        for label, kwargs in tiers:
+            judge = CommutativityAnalyzer(
+                definitions, refine=self.refine, **kwargs
+            )
+            counts[f"noncommutative_{label}"] = sum(
+                1
+                for first, second in pairs
+                if judge.compute_reasons(first, second)
+            )
+        self._pruning_counts = counts
+        self.stats.add_time("pair_pruning", time.perf_counter() - start)
+        return dict(counts)
 
     # ------------------------------------------------------------------
     # Parallel fan-out

@@ -27,12 +27,20 @@ def triggering_graph_dot(
     graph: TriggeringGraph,
     priorities: PriorityRelation | None = None,
     certified: frozenset[str] = frozenset(),
+    certified_pairs: frozenset[frozenset[str]] = frozenset(),
+    suggested: frozenset[str] = frozenset(),
+    legend: bool = False,
 ) -> str:
     """Render ``TG_R`` as DOT.
 
     Rules on a cyclic strong component are filled red (or green when
-    certified); ``Triggers`` edges are solid, direct priority edges
-    dashed grey.
+    user-certified); rules in *suggested* — uncertified cycle members
+    the lint heuristics (RPL007) believe could be discharged — keep the
+    red fill but get a dashed border, mirroring the "suggested cycle
+    certification" lint output. ``Triggers`` edges are solid, direct
+    priority edges dashed grey, and user-certified commutativity
+    *certified_pairs* appear as dashed green undirected edges. With
+    ``legend=True`` a legend cluster explains every style in use.
     """
     cyclic_members: set[str] = set()
     for component in graph.cyclic_components():
@@ -43,8 +51,16 @@ def triggering_graph_dot(
     for node in graph.nodes:
         attributes = []
         if node in cyclic_members:
-            color = "palegreen" if node in certified else "lightcoral"
-            attributes.append(f'style="rounded,filled", fillcolor={color}')
+            if node in certified:
+                attributes.append('style="rounded,filled", fillcolor=palegreen')
+            elif node in suggested:
+                attributes.append(
+                    'style="rounded,filled,dashed", fillcolor=lightcoral'
+                )
+            else:
+                attributes.append(
+                    'style="rounded,filled", fillcolor=lightcoral'
+                )
         rendered = f" [{', '.join(attributes)}]" if attributes else ""
         lines.append(f"  {_quote(node)}{rendered};")
 
@@ -59,8 +75,65 @@ def triggering_graph_dot(
                 '[style=dashed, color=grey, label="precedes"];'
             )
 
+    for pair in sorted(certified_pairs, key=sorted):
+        first, second = sorted(pair)
+        lines.append(
+            f"  {_quote(first)} -> {_quote(second)} "
+            "[style=dashed, color=darkgreen, dir=none, "
+            'label="certified commutes"];'
+        )
+
+    if legend:
+        lines.extend(_legend_lines(certified, certified_pairs, suggested))
+
     lines.append("}")
     return "\n".join(lines) + "\n"
+
+
+def _legend_lines(
+    certified: frozenset[str],
+    certified_pairs: frozenset[frozenset[str]],
+    suggested: frozenset[str],
+) -> list[str]:
+    rows = [
+        ("uncertified cycle member", "filled", "lightcoral"),
+    ]
+    if suggested:
+        rows.append(
+            ("certification suggested (lint RPL007)", "filled,dashed",
+             "lightcoral")
+        )
+    if certified:
+        rows.append(("user-certified cycle member", "filled", "palegreen"))
+    lines = [
+        "  subgraph cluster_legend {",
+        '    label="legend";',
+        "    fontsize=10;",
+        "    node [shape=box, style=rounded, fontsize=10];",
+    ]
+    for position, (text, style, fill) in enumerate(rows):
+        lines.append(
+            f'    legend{position} [label="{text}", '
+            f'style="rounded,{style}", fillcolor={fill}];'
+        )
+    lines.append(
+        '    legend_triggers_a [label=""]; legend_triggers_b [label=""];'
+    )
+    lines.append(
+        '    legend_triggers_a -> legend_triggers_b [label="triggers"];'
+    )
+    lines.append(
+        "    legend_triggers_b -> legend_triggers_a "
+        '[style=dashed, color=grey, label="precedes"];'
+    )
+    if certified_pairs:
+        lines.append(
+            "    legend_triggers_a -> legend_triggers_a "
+            "[style=dashed, color=darkgreen, dir=none, "
+            'label="certified commutes"];'
+        )
+    lines.append("  }")
+    return lines
 
 
 def execution_graph_dot(graph: ExecutionGraph) -> str:

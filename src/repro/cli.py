@@ -115,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="add a priority ordering (repeatable)",
     )
     parser.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="judge Lemma 6.1 with the attribute-level dataflow "
+        "refinement (column-precise read/write overlap tests; "
+        "strictly pruning and sound)",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="also print violations and repair suggestions",
@@ -171,7 +178,7 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.rules) as handle:
             ruleset = RuleSet.parse(handle.read(), schema)
 
-        analyzer = RuleAnalyzer(ruleset)
+        analyzer = RuleAnalyzer(ruleset, column_dataflow=args.dataflow)
         for pair in args.certify_commutes:
             first, __, second = pair.partition(",")
             analyzer.certify_commutes(first.strip(), second.strip())
@@ -187,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
                 [table.strip() for table in args.tables.split(",")]
             )
         report = analyzer.analyze(tables=table_groups)
-    except ReproError as error:
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
@@ -215,12 +222,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.dot:
         from repro.analysis.graphviz import triggering_graph_dot
 
+        termination = analyzer.termination_analyzer.analyze()
+        suggested = frozenset(
+            rule
+            for rules in termination.auto_certifiable.values()
+            for rule in rules
+        )
         with open(args.dot, "w") as handle:
             handle.write(
                 triggering_graph_dot(
                     analyzer.termination_analyzer.graph,
                     priorities=ruleset.priorities,
                     certified=analyzer.termination_analyzer.certified_rules,
+                    certified_pairs=analyzer.engine.certified_commutes,
+                    suggested=suggested,
+                    legend=True,
                 )
             )
         print(
@@ -377,6 +393,141 @@ def _print_details(report) -> None:
         print("\nobservable-determinism violations (Sig(Obs) analysis):")
         for violation in od.confluence.violations:
             print(f"  {violation.describe()}")
+
+
+# ----------------------------------------------------------------------
+# The ``repro`` multi-command entry point
+# ----------------------------------------------------------------------
+
+
+def build_repro_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Production-rule program tooling: static analysis and lint "
+            "(Aiken/Widom/Hellerstein, SIGMOD 1992)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the rule-program linter (diagnostic codes RPL001...)",
+        description=(
+            "Static diagnostics over a rule program: never-triggerable "
+            "rules, dead writes, uncertified self-triggers, "
+            "unsatisfiable conditions, shadowed priority edges, "
+            "unknown/ambiguous column references, and suggested cycle "
+            "certifications. Exits 1 when any error-severity finding "
+            "is reported, 2 on parse/usage errors, 0 otherwise."
+        ),
+    )
+    lint.add_argument("rules", help="file of create-rule statements")
+    lint.add_argument(
+        "--schema",
+        required=True,
+        help="schema spec file (table: col, col, ...)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--entry",
+        metavar="TABLE,TABLE",
+        help="tables user transactions may touch (Section 9); enables "
+        "the never-triggerable-rule check RPL001",
+    )
+    lint.add_argument(
+        "--certify-termination",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="treat RULE as termination-certified (silences RPL003 "
+        "and RPL007 for its cycles; repeatable)",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="CODE,CODE",
+        help="run only the listed diagnostic codes (e.g. RPL004,RPL006)",
+    )
+    lint.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the termination/confluence/determinism analyzer "
+        "(same as starburst-analyze)",
+        add_help=False,
+    )
+    analyze.add_argument("args", nargs=argparse.REMAINDER)
+    return parser
+
+
+def _run_lint(args) -> int:
+    from repro.lint import lint_ruleset
+
+    try:
+        schema = load_schema(args.schema)
+        with open(args.rules) as handle:
+            source = handle.read()
+        ruleset = RuleSet.parse(source, schema)
+        report = lint_ruleset(
+            ruleset,
+            source=source,
+            path=args.rules,
+            entry_tables=(
+                [table.strip() for table in args.entry.split(",")]
+                if args.entry
+                else None
+            ),
+            certified_termination=[
+                rule.strip() for rule in args.certify_termination
+            ],
+            only=(
+                [code.strip().upper() for code in args.select.split(",")]
+                if args.select
+                else None
+            ),
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "text":
+        rendered = report.render_text()
+    else:
+        import json
+
+        payload = (
+            report.to_sarif()
+            if args.format == "sarif"
+            else report.to_json_dict()
+        )
+        rendered = json.dumps(payload, indent=2)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(
+            f"lint report ({args.format}) written to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(rendered)
+    return 1 if report.has_errors else 0
+
+
+def repro_main(argv: list[str] | None = None) -> int:
+    args = build_repro_parser().parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args)
+    return main(args.args)
 
 
 if __name__ == "__main__":

@@ -322,6 +322,10 @@ def _subqueries_of_select(select: Select):
         yield from subqueries_of(item.expr)
     if select.where is not None:
         yield from subqueries_of(select.where)
+    for key in select.group_by:
+        yield from subqueries_of(key)
+    if select.having is not None:
+        yield from subqueries_of(select.having)
 
 
 def expressions_of_statement(stmt: Statement):

@@ -1,0 +1,153 @@
+"""Diagnostic vocabulary of the rule-program linter.
+
+Every finding a lint pass can emit is identified by a stable code
+(``RPL001``, ``RPL002``, ...) with a fixed default severity. The codes
+are the public contract: formatters key on them, CI suppressions
+reference them, and the fixture tests assert each one fires — so codes
+are never renumbered, only appended.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """Ranked finding severity; also the SARIF ``level`` vocabulary."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "note": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    name: str
+    severity: Severity
+    short_description: str
+
+
+#: The stable diagnostic-code registry, in code order.
+DIAGNOSTIC_CODES: dict[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo(
+            "RPL001",
+            "never-triggerable-rule",
+            Severity.WARNING,
+            "Rule can never be triggered: no rule performs its "
+            "triggering events and the declared entry tables cannot "
+            "root it (Section 9 reachability).",
+        ),
+        CodeInfo(
+            "RPL002",
+            "dead-write",
+            Severity.WARNING,
+            "Rule updates a column that no rule reads and whose "
+            "updates trigger nothing.",
+        ),
+        CodeInfo(
+            "RPL003",
+            "uncertified-self-trigger",
+            Severity.WARNING,
+            "Rule triggers itself and carries no termination "
+            "certification (Theorem 5.1 cannot discharge the "
+            "self-loop).",
+        ),
+        CodeInfo(
+            "RPL004",
+            "unsatisfiable-condition",
+            Severity.ERROR,
+            "Rule condition is provably unsatisfiable (constant "
+            "folding / interval analysis): the action can never run.",
+        ),
+        CodeInfo(
+            "RPL005",
+            "shadowed-priority-edge",
+            Severity.WARNING,
+            "Declared priority edge is already implied by the "
+            "transitive closure of the other declared edges.",
+        ),
+        CodeInfo(
+            "RPL006",
+            "unknown-column-reference",
+            Severity.ERROR,
+            "Expression references a column that resolves to no "
+            "table/column of the schema; the analysis silently "
+            "ignores such reads.",
+        ),
+        CodeInfo(
+            "RPL007",
+            "suggested-cycle-certification",
+            Severity.NOTE,
+            "Uncertified triggering cycle that the delete-only or "
+            "monotonic-update heuristic could certify.",
+        ),
+        CodeInfo(
+            "RPL008",
+            "ambiguous-column-reference",
+            Severity.WARNING,
+            "Unqualified column reference resolves to more than one "
+            "bound table; the analysis conservatively charges all of "
+            "them.",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``rule`` is the offending rule's (lower-cased) name, or ``None`` for
+    program-level findings (e.g. priority-edge issues attach to the
+    higher rule, so in practice it is always set). ``line`` is the
+    1-based line of the rule's ``create rule`` in the linted source,
+    when the source text was provided.
+    """
+
+    code: str
+    severity: Severity
+    rule: str | None
+    message: str
+    line: int | None = None
+
+    @property
+    def info(self) -> CodeInfo:
+        return DIAGNOSTIC_CODES[self.code]
+
+    def sort_key(self) -> tuple:
+        return (
+            self.severity.rank,
+            self.code,
+            self.rule or "",
+            self.message,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "name": self.info.name,
+            "severity": self.severity.value,
+            "rule": self.rule,
+            "message": self.message,
+            "line": self.line,
+        }
+
+    def render(self, path: str | None = None) -> str:
+        place = path or "<rules>"
+        if self.line is not None:
+            place = f"{place}:{self.line}"
+        subject = f" [{self.rule}]" if self.rule else ""
+        return (
+            f"{place}: {self.severity.value} {self.code}"
+            f"{subject}: {self.message}"
+        )

@@ -1,0 +1,401 @@
+"""The registered lint passes (RPL001–RPL008).
+
+Each pass is a function from a :class:`LintContext` to an iterable of
+:class:`~repro.lint.diagnostics.Diagnostic`, registered under its
+diagnostic code via :func:`lint_pass`. The runner in
+:mod:`repro.lint` executes every registered pass and collates the
+findings by severity.
+
+The passes deliberately reuse the analysis substrate rather than
+re-deriving it: RPL001 is Section 9 reachability
+(:func:`repro.analysis.restricted.reachable_rules`), RPL002 consumes
+the attribute-level ``Writes`` sets of
+:mod:`repro.analysis.dataflow`, RPL003/RPL007 ride on the
+:class:`~repro.analysis.termination.TerminationAnalyzer`, and
+RPL006/RPL008 mirror the column-resolution scoping of
+``derived._compute_reads`` — so what the linter reports is exactly what
+the analyses see (or silently ignore).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.derived import DerivedDefinitions, _bind_table, _Scope
+from repro.analysis.restricted import reachable_rules
+from repro.analysis.termination import TerminationAnalyzer
+from repro.lang import ast
+from repro.lint.diagnostics import DIAGNOSTIC_CODES, Diagnostic
+from repro.lint.folding import unsatisfiable
+from repro.rules.events import all_events
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+@dataclass
+class LintContext:
+    """Everything a lint pass may consult."""
+
+    ruleset: RuleSet
+    definitions: DerivedDefinitions
+    #: tables user transactions may touch; None = unrestricted (every
+    #: table is an entry point, so RPL001 degrades to never firing)
+    entry_tables: frozenset[str] | None = None
+    #: rules the user has certified for termination (lint equivalent of
+    #: the analyzer's certify_termination)
+    certified_termination: frozenset[str] = frozenset()
+    #: rule name -> 1-based line of its ``create rule`` in the source
+    lines: dict[str, int] = field(default_factory=dict)
+
+    def diagnostic(self, code: str, rule: str | None, message: str) -> Diagnostic:
+        return Diagnostic(
+            code=code,
+            severity=DIAGNOSTIC_CODES[code].severity,
+            rule=rule,
+            message=message,
+            line=self.lines.get(rule) if rule else None,
+        )
+
+
+#: code -> pass function, in registration (= code) order.
+LINT_PASSES: dict[str, Callable[[LintContext], Iterable[Diagnostic]]] = {}
+
+
+def lint_pass(code: str):
+    if code not in DIAGNOSTIC_CODES:
+        raise ValueError(f"unregistered diagnostic code {code!r}")
+
+    def register(fn):
+        LINT_PASSES[code] = fn
+        return fn
+
+    return register
+
+
+# ----------------------------------------------------------------------
+# RPL001 — never-triggerable rules (Section 9 reachability)
+# ----------------------------------------------------------------------
+
+
+@lint_pass("RPL001")
+def never_triggerable(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A rule outside the triggering-graph closure of the rules the
+    declared entry tables can root is dead code: no user transaction
+    and no rule action can ever trigger it."""
+    schema = ctx.ruleset.schema
+    if ctx.entry_tables is None:
+        initial = all_events(schema)
+    else:
+        initial = frozenset(
+            event
+            for event in all_events(schema)
+            if event.table in ctx.entry_tables
+        )
+    reachable = reachable_rules(ctx.definitions, initial)
+    for name in ctx.definitions.rule_names:
+        if name in reachable:
+            continue
+        entry = (
+            ", ".join(sorted(ctx.entry_tables))
+            if ctx.entry_tables is not None
+            else "any table"
+        )
+        yield ctx.diagnostic(
+            "RPL001",
+            name,
+            f"rule can never be triggered: no rule performs its "
+            f"triggering events and user operations on {entry} "
+            f"cannot reach it",
+        )
+
+
+# ----------------------------------------------------------------------
+# RPL002 — dead writes
+# ----------------------------------------------------------------------
+
+
+@lint_pass("RPL002")
+def dead_writes(ctx: LintContext) -> Iterator[Diagnostic]:
+    """An updated column nobody reads and whose updates trigger no rule
+    has no observable effect inside the rule program. (The table may of
+    course be queried by applications — hence a warning, not an error.)
+
+    Reads are judged at the coarse Section 3 granularity on purpose: a
+    ``select *`` counts as reading every column, so the pass errs
+    toward silence."""
+    all_reads: set[tuple[str, str]] = set()
+    triggering_updates: set[tuple[str, str]] = set()
+    for name in ctx.definitions.rule_names:
+        all_reads |= ctx.definitions.reads(name)
+        for event in ctx.definitions.triggered_by(name):
+            if event.kind == "U":
+                triggering_updates.add((event.table, event.column))
+    for name in ctx.definitions.rule_names:
+        footprint = ctx.definitions.dataflow(name)
+        dead = sorted(
+            (write.table, write.column)
+            for write in footprint.writes
+            if write.kind == "U"
+            and (write.table, write.column) not in all_reads
+            and (write.table, write.column) not in triggering_updates
+        )
+        for table, column in dead:
+            yield ctx.diagnostic(
+                "RPL002",
+                name,
+                f"update of {table}.{column} is dead: no rule reads "
+                f"the column and (U, {table}.{column}) triggers "
+                f"nothing",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPL003 — self-triggering rules lacking termination certification
+# ----------------------------------------------------------------------
+
+
+@lint_pass("RPL003")
+def uncertified_self_triggers(ctx: LintContext) -> Iterator[Diagnostic]:
+    for name in ctx.definitions.rule_names:
+        if name not in ctx.definitions.triggers(name):
+            continue
+        if name in ctx.certified_termination:
+            continue
+        events = sorted(
+            str(event)
+            for event in (
+                ctx.definitions.performs(name)
+                & ctx.definitions.triggered_by(name)
+            )
+        )
+        yield ctx.diagnostic(
+            "RPL003",
+            name,
+            f"rule triggers itself via {', '.join(events)} and has no "
+            f"termination certification",
+        )
+
+
+# ----------------------------------------------------------------------
+# RPL004 — unsatisfiable conditions
+# ----------------------------------------------------------------------
+
+
+@lint_pass("RPL004")
+def unsatisfiable_conditions(ctx: LintContext) -> Iterator[Diagnostic]:
+    for rule in ctx.ruleset:
+        if rule.condition is None:
+            continue
+        proof = unsatisfiable(rule.condition)
+        if proof is not None:
+            yield ctx.diagnostic(
+                "RPL004",
+                rule.name,
+                f"condition is unsatisfiable ({proof}): the action "
+                f"can never execute",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPL005 — shadowed priority edges
+# ----------------------------------------------------------------------
+
+
+@lint_pass("RPL005")
+def shadowed_priority_edges(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A declared ``precedes``/``follows`` edge already implied by the
+    transitive closure of the *other* declared edges is redundant.
+    (Cyclic priority declarations are rejected at parse time, so
+    shadowing is the surviving edge pathology.)"""
+    direct = ctx.ruleset.priorities.direct_pairs()
+    adjacency: dict[str, set[str]] = {}
+    for higher, lower in direct:
+        adjacency.setdefault(higher, set()).add(lower)
+
+    def reaches_without(start: str, goal: str, skip: tuple[str, str]) -> bool:
+        stack = [start]
+        seen = {start}
+        while stack:
+            node = stack.pop()
+            for successor in adjacency.get(node, ()):
+                if (node, successor) == skip:
+                    continue
+                if successor == goal:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return False
+
+    for higher, lower in sorted(direct):
+        if reaches_without(higher, lower, (higher, lower)):
+            yield ctx.diagnostic(
+                "RPL005",
+                higher,
+                f"priority edge {higher} > {lower} is shadowed: it is "
+                f"already implied by the other declared orderings",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPL006 / RPL008 — column-reference resolution issues
+# ----------------------------------------------------------------------
+
+
+def _scoped_expressions(
+    rule: Rule,
+) -> Iterator[tuple[ast.Expression, _Scope]]:
+    """Every top-level expression of *rule* with the scope the analyses
+    resolve it under — the exact scoping of ``derived._compute_reads``."""
+    root = _Scope()
+    if rule.condition is not None:
+        yield rule.condition, root
+    for action in rule.actions:
+        if isinstance(action, ast.Select):
+            yield from _select_expressions(action, root, rule)
+        elif isinstance(action, ast.Insert):
+            scope = _Scope(outer=root)
+            for row in action.rows:
+                for value in row:
+                    yield value, scope
+            if action.query is not None:
+                yield from _select_expressions(action.query, root, rule)
+        elif isinstance(action, (ast.Delete, ast.Update)):
+            scope = _Scope(outer=root)
+            _bind_table(scope, action.alias or action.table, action.table, rule)
+            if action.alias:
+                _bind_table(scope, action.table, action.table, rule)
+            if isinstance(action, ast.Update):
+                for assignment in action.assignments:
+                    yield assignment.value, scope
+            if action.where is not None:
+                yield action.where, scope
+
+
+def _select_expressions(
+    select: ast.Select, outer: _Scope, rule: Rule
+) -> Iterator[tuple[ast.Expression, _Scope]]:
+    scope = _Scope(outer=outer)
+    for ref in select.tables:
+        _bind_table(scope, ref.binding_name, ref.name, rule)
+    for item in select.items:
+        yield item.expr, scope
+    if select.where is not None:
+        yield select.where, scope
+    for key in select.group_by:
+        yield key, scope
+    if select.having is not None:
+        yield select.having, scope
+
+
+def _column_refs_with_scopes(
+    rule: Rule,
+) -> Iterator[tuple[ast.ColumnRef, _Scope]]:
+    pending = list(_scoped_expressions(rule))
+    while pending:
+        expr, scope = pending.pop(0)
+        for node in ast.walk_expression(expr):
+            if isinstance(node, ast.ColumnRef):
+                yield node, scope
+            elif isinstance(node, (ast.InSubquery, ast.Exists)):
+                pending.extend(
+                    _select_expressions(node.subquery, scope, rule)
+                )
+            elif isinstance(node, ast.ScalarSubquery):
+                pending.extend(
+                    _select_expressions(node.subquery, scope, rule)
+                )
+
+
+@lint_pass("RPL006")
+def unknown_column_references(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Rule validation checks FROM tables and write targets, but not
+    the columns referenced inside expressions; the read computation
+    silently drops unresolvable references. Surface them."""
+    schema = ctx.ruleset.schema
+    for rule in ctx.ruleset:
+        seen: set[str] = set()
+        for ref, scope in _column_refs_with_scopes(rule):
+            if ref.table:
+                actual = scope.resolve_qualified(ref.table)
+                if actual is None:
+                    if ref.table.lower() in ast.TRANSITION_TABLE_NAMES:
+                        actual = rule.table
+                    else:
+                        actual = ref.table.lower()
+                if not schema.has_table(actual):
+                    message = (
+                        f"reference {ref.table}.{ref.column} resolves "
+                        f"to unknown table {actual!r}"
+                    )
+                elif not schema.table(actual).has_column(ref.column):
+                    message = (
+                        f"reference {ref.table}.{ref.column}: table "
+                        f"{actual!r} has no column {ref.column.lower()!r}"
+                    )
+                else:
+                    continue
+            else:
+                if scope.candidate_tables(ref.column, rule):
+                    continue
+                message = (
+                    f"unqualified column {ref.column!r} matches no "
+                    f"table in scope"
+                )
+            if message not in seen:
+                seen.add(message)
+                yield ctx.diagnostic("RPL006", rule.name, message)
+
+
+@lint_pass("RPL008")
+def ambiguous_column_references(ctx: LintContext) -> Iterator[Diagnostic]:
+    for rule in ctx.ruleset:
+        seen: set[str] = set()
+        for ref, scope in _column_refs_with_scopes(rule):
+            if ref.table:
+                continue
+            candidates = scope.candidate_tables(ref.column, rule)
+            if len(set(candidates)) <= 1:
+                continue
+            tables = ", ".join(sorted(set(candidates)))
+            message = (
+                f"unqualified column {ref.column!r} is ambiguous: it "
+                f"matches {tables}; the analysis charges reads of all "
+                f"of them"
+            )
+            if message not in seen:
+                seen.add(message)
+                yield ctx.diagnostic("RPL008", rule.name, message)
+
+
+# ----------------------------------------------------------------------
+# RPL007 — suggested cycle certifications
+# ----------------------------------------------------------------------
+
+
+@lint_pass("RPL007")
+def suggested_cycle_certifications(ctx: LintContext) -> Iterator[Diagnostic]:
+    analyzer = TerminationAnalyzer(ctx.definitions)
+    for name in sorted(ctx.certified_termination):
+        if name in ctx.definitions.rule_names:
+            analyzer.certify_rule(name)
+    analysis = analyzer.analyze()
+    for component in analysis.uncertified_components:
+        members = "{" + ", ".join(sorted(component)) + "}"
+        delete_only = analyzer.auto_certifiable_rules(component)
+        monotonic = analyzer.auto_certifiable_monotonic_rules(component)
+        for name in sorted(delete_only | monotonic):
+            heuristics = []
+            if name in delete_only:
+                heuristics.append("delete-only")
+            if name in monotonic:
+                heuristics.append("monotonic-update")
+            yield ctx.diagnostic(
+                "RPL007",
+                name,
+                f"uncertified triggering cycle {members} could be "
+                f"discharged by certifying {name} "
+                f"({' and '.join(heuristics)} heuristic); pass "
+                f"--certify-termination {name}",
+            )

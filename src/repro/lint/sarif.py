@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+The `Static Analysis Results Interchange Format
+<https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_ is
+the lingua franca of CI code-scanning surfaces. One ``run`` is emitted
+per lint invocation; the tool driver advertises the full stable
+diagnostic-code registry (so suppressions and dashboards can key on
+codes that did not fire this run), and every finding becomes a
+``result`` with its rule's logical location and — when the linted
+source text was available — the physical line of its ``create rule``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import DIAGNOSTIC_CODES, Diagnostic
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_VERSION = "1.0.0"
+
+
+def to_sarif(
+    diagnostics: list[Diagnostic], *, artifact_uri: str | None = None
+) -> dict:
+    """One SARIF log dict covering *diagnostics* (JSON-serializable)."""
+    codes = sorted(DIAGNOSTIC_CODES)
+    rule_index = {code: index for index, code in enumerate(codes)}
+
+    results = []
+    for diagnostic in diagnostics:
+        result: dict = {
+            "ruleId": diagnostic.code,
+            "ruleIndex": rule_index[diagnostic.code],
+            "level": diagnostic.severity.value,
+            "message": {"text": diagnostic.message},
+        }
+        location: dict = {}
+        if artifact_uri is not None:
+            physical: dict = {
+                "artifactLocation": {"uri": artifact_uri},
+            }
+            if diagnostic.line is not None:
+                physical["region"] = {"startLine": diagnostic.line}
+            location["physicalLocation"] = physical
+        if diagnostic.rule is not None:
+            location["logicalLocations"] = [
+                {"name": diagnostic.rule, "kind": "rule"}
+            ]
+        if location:
+            result["locations"] = [location]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": (
+                            "https://dl.acm.org/doi/10.1145/130283.130293"
+                        ),
+                        "rules": [
+                            {
+                                "id": code,
+                                "name": DIAGNOSTIC_CODES[code].name,
+                                "shortDescription": {
+                                    "text": DIAGNOSTIC_CODES[
+                                        code
+                                    ].short_description
+                                },
+                                "defaultConfiguration": {
+                                    "level": DIAGNOSTIC_CODES[
+                                        code
+                                    ].severity.value
+                                },
+                            }
+                            for code in codes
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -178,6 +178,106 @@ class TestReads:
         assert defs.reads("r") == frozenset()
 
 
+class TestReadsEdgeCases:
+    def test_nested_exists_subquery_reads(self, schema):
+        defs = defs_for(
+            """
+            create rule r on emp when inserted
+            if exists (select * from dept where exists
+                       (select * from audit where event > dept.budget))
+            then delete from emp where id = 0
+            """,
+            schema,
+        )
+        reads = defs.reads("r")
+        assert ("audit", "event") in reads
+        assert ("dept", "budget") in reads
+
+    def test_nested_in_subquery_reads(self, schema):
+        defs = defs_for(
+            """
+            create rule r on emp when inserted
+            if exists (select * from dept where id in
+                       (select id from audit where event = 1))
+            then delete from emp where id = 0
+            """,
+            schema,
+        )
+        reads = defs.reads("r")
+        assert ("audit", "id") in reads
+        assert ("audit", "event") in reads
+        assert ("dept", "id") in reads
+
+    def test_group_by_and_having_subquery_reads(self, schema):
+        defs = defs_for(
+            """
+            create rule r on emp when inserted
+            if 0 < (select count(id) from dept group by budget
+                    having budget > (select event from audit where id = 1))
+            then delete from emp where id = 0
+            """,
+            schema,
+        )
+        reads = defs.reads("r")
+        assert ("audit", "event") in reads
+        assert ("audit", "id") in reads
+
+    def test_transition_table_column_reads_charge_rule_table(self, schema):
+        defs = defs_for(
+            """
+            create rule r on emp when updated(salary)
+            if exists (select * from new_updated where salary > 100)
+            then delete from audit where id = 0
+            """,
+            schema,
+        )
+        reads = defs.reads("r")
+        # Transition tables are views of the rule's own table.
+        assert ("emp", "salary") in reads
+        assert not any(table == "new_updated" for table, __ in reads)
+
+    def test_ambiguous_unqualified_column_reads_all_candidates(self, schema):
+        # Both emp and dept have an ``id`` column; the conservative
+        # reading charges the unqualified reference to both.
+        defs = defs_for(
+            """
+            create rule r on emp when inserted
+            if exists (select * from emp, dept where id > 0)
+            then delete from audit where id = 0
+            """,
+            schema,
+        )
+        reads = defs.reads("r")
+        assert ("emp", "id") in reads
+        assert ("dept", "id") in reads
+
+    def test_count_star_reads_every_from_table_column(self, schema):
+        defs = defs_for(
+            """
+            create rule r on emp when inserted
+            if 0 < (select count(*) from dept)
+            then delete from audit where id = 0
+            """,
+            schema,
+        )
+        reads = defs.reads("r")
+        assert ("dept", "id") in reads
+        assert ("dept", "budget") in reads
+
+    def test_count_star_in_where_subquery(self, schema):
+        defs = defs_for(
+            """
+            create rule r on emp when inserted
+            if exists (select * from audit
+                       where event = (select count(*) from dept))
+            then delete from emp where id = 0
+            """,
+            schema,
+        )
+        reads = defs.reads("r")
+        assert ("dept", "budget") in reads
+
+
 class TestCanUntrigger:
     def test_deletion_untriggers_insert_triggered_rules(self, schema):
         defs = defs_for(

@@ -73,6 +73,67 @@ class TestTriggeringGraphDot:
         assert 'label="precedes"' in dot
 
 
+class TestCertificationRendering:
+    @pytest.fixture
+    def loop_analyzer(self, schema):
+        ruleset = RuleSet.parse(
+            "create rule loop on t when inserted, deleted "
+            "then delete from t where id = 1",
+            schema,
+        )
+        return RuleAnalyzer(ruleset)
+
+    def test_suggested_rules_dashed_but_still_red(self, loop_analyzer):
+        dot = triggering_graph_dot(
+            loop_analyzer.termination_analyzer.graph,
+            suggested=frozenset({"loop"}),
+        )
+        assert 'style="rounded,filled,dashed", fillcolor=lightcoral' in dot
+        assert "palegreen" not in dot
+
+    def test_certified_wins_over_suggested(self, loop_analyzer):
+        dot = triggering_graph_dot(
+            loop_analyzer.termination_analyzer.graph,
+            certified=frozenset({"loop"}),
+            suggested=frozenset({"loop"}),
+        )
+        assert "palegreen" in dot
+        assert "lightcoral" not in dot
+
+    def test_certified_pairs_dashed_green_undirected(self, schema):
+        ruleset = RuleSet.parse(
+            """
+            create rule a on t when inserted then delete from u where id = 1
+            create rule b on t when inserted then delete from u where id = 2
+            """,
+            schema,
+        )
+        analyzer = RuleAnalyzer(ruleset)
+        dot = triggering_graph_dot(
+            analyzer.termination_analyzer.graph,
+            certified_pairs=frozenset({frozenset({"b", "a"})}),
+        )
+        assert (
+            '"a" -> "b" [style=dashed, color=darkgreen, dir=none, '
+            'label="certified commutes"];' in dot
+        )
+
+    def test_legend_opt_in(self, loop_analyzer):
+        graph = loop_analyzer.termination_analyzer.graph
+        assert "cluster_legend" not in triggering_graph_dot(graph)
+        dot = triggering_graph_dot(
+            graph,
+            certified=frozenset({"loop"}),
+            suggested=frozenset({"other"}),
+            certified_pairs=frozenset({frozenset({"a", "b"})}),
+            legend=True,
+        )
+        assert "cluster_legend" in dot
+        assert "certification suggested (lint RPL007)" in dot
+        assert "user-certified cycle member" in dot
+        assert 'label="certified commutes"' in dot
+
+
 class TestExecutionGraphDot:
     def test_states_and_edges(self, schema):
         ruleset = RuleSet.parse(

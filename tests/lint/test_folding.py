@@ -1,0 +1,121 @@
+"""Unit tests for the RPL004 satisfiability engines (folding, intervals)."""
+
+import pytest
+
+from repro.lang.parser import parse_expression
+from repro.lint.folding import (
+    conjunction_contradiction,
+    fold_constant,
+    is_folded,
+    unsatisfiable,
+)
+
+
+def expr(text):
+    return parse_expression(text)
+
+
+class TestFolding:
+    @pytest.mark.parametrize(
+        "text, value",
+        [
+            ("1 + 1", 2),
+            ("2 > 1", True),
+            ("1 = 2", False),
+            ("1 = null", None),
+            ("not (1 = 1)", False),
+            ("'a' || 'b'", "ab"),
+        ],
+    )
+    def test_closed_constants_fold(self, text, value):
+        folded = fold_constant(expr(text))
+        assert is_folded(folded)
+        assert folded == value
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "v > 1",
+            "exists (select * from t)",
+            "1 / 0",
+        ],
+    )
+    def test_open_or_erroring_expressions_do_not_fold(self, text):
+        assert not is_folded(fold_constant(expr(text)))
+
+
+class TestIntervals:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "v > 5 and v < 3",
+            "v >= 5 and v < 5",
+            "v = 1 and v = 2",
+            "v = 1 and v <> 1",
+            "v = 1 and v > 2",
+            "3 > v and v > 5",
+            "t.v = 1 and 2 = t.v",
+        ],
+    )
+    def test_contradictory_conjunctions(self, text):
+        conjuncts = _split(expr(text))
+        assert conjunction_contradiction(conjuncts) is not None
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "v > 3 and v < 5",
+            "v = 4 and v > 3",
+            "v >= 5 and v <= 5",
+            "v = 1 and w = 2",
+            # Different keys must not be conflated.
+            "t.v = 1 and u.v = 2",
+            # Non-constant right-hand sides do not participate.
+            "v > w and v < w",
+        ],
+    )
+    def test_satisfiable_conjunctions(self, text):
+        conjuncts = _split(expr(text))
+        assert conjunction_contradiction(conjuncts) is None
+
+
+def _split(node):
+    from repro.lang import ast
+
+    if isinstance(node, ast.BinaryOp) and node.op == "and":
+        return _split(node.left) + _split(node.right)
+    return [node]
+
+
+class TestUnsatisfiable:
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("1 = 2", "folds to False"),
+            ("1 = null", "folds to UNKNOWN"),
+            ("v > 0 and 1 = 2", "conjunct folds to False"),
+            ("v > 5 and v < 3", "contradictory bounds"),
+            ("1 = 2 or v > 5 and v < 3", "both OR branches"),
+            (
+                "exists (select * from t where v > 5 and v < 3)",
+                "EXISTS subquery WHERE unsatisfiable",
+            ),
+        ],
+    )
+    def test_proofs(self, text, fragment):
+        proof = unsatisfiable(expr(text))
+        assert proof is not None
+        assert fragment in proof
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "v > 0",
+            "1 = 1",
+            "1 = 2 or v > 0",
+            "exists (select * from t where v > 3 and v < 5)",
+            "not exists (select * from t where v > 5 and v < 3)",
+        ],
+    )
+    def test_no_false_positives(self, text):
+        assert unsatisfiable(expr(text)) is None
