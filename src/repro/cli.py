@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.analysis.analyzer import RuleAnalyzer
+from repro.engine import plan
 from repro.engine.database import Database
 from repro.errors import ReproError
 from repro.lang.parser import Parser
@@ -136,7 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the analysis engine's cache and timing counters "
-        "(pairs judged, memo hits, invalidations, per-phase wall-clock)",
+        "(pairs judged, memo hits, invalidations, per-phase wall-clock) "
+        "plus the query planner's counters (plans built/cached, index "
+        "builds and probes, hash-join probes)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase wall time (parse, plan, triggering, pair "
+        "analysis, and with --run execution/exploration) for perf triage",
     )
     parser.add_argument(
         "--report",
@@ -173,10 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
+    profile: dict[str, float] = {}
     try:
+        started = time.perf_counter()
         schema = load_schema(args.schema)
         with open(args.rules) as handle:
             ruleset = RuleSet.parse(handle.read(), schema)
+        profile["parse"] = time.perf_counter() - started
 
         analyzer = RuleAnalyzer(ruleset, column_dataflow=args.dataflow)
         for pair in args.certify_commutes:
@@ -193,7 +206,9 @@ def main(argv: list[str] | None = None) -> int:
             table_groups.append(
                 [table.strip() for table in args.tables.split(",")]
             )
+        started = time.perf_counter()
         report = analyzer.analyze(tables=table_groups)
+        profile["pair_analysis"] = time.perf_counter() - started
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -204,10 +219,12 @@ def main(argv: list[str] | None = None) -> int:
         payload = report.to_dict()
         if args.run:
             try:
-                payload.update(_run_json(ruleset, schema, args))
+                payload.update(_run_json(ruleset, schema, args, profile))
             except ReproError as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2
+        if args.profile:
+            payload["profile"] = _profile_section(profile)
         print(json.dumps(payload, indent=2))
     else:
         print(f"analyzed {len(ruleset)} rules over {len(schema)} tables")
@@ -263,10 +280,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.run and not args.json:
         try:
-            _run_and_trace(ruleset, schema, args)
+            _run_and_trace(ruleset, schema, args, profile)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+
+    if args.profile and not args.json:
+        _print_profile(profile)
 
     all_good = (
         report.terminates
@@ -276,7 +296,9 @@ def main(argv: list[str] | None = None) -> int:
     return 0 if all_good else 1
 
 
-def _run_json(ruleset: RuleSet, schema: Schema, args) -> dict:
+def _run_json(
+    ruleset: RuleSet, schema: Schema, args, profile: dict | None = None
+) -> dict:
     """Execute --run (and --explore) for machine-readable output.
 
     Returns an ``execution`` section (outcome, steps, final tables,
@@ -290,9 +312,13 @@ def _run_json(ruleset: RuleSet, schema: Schema, args) -> dict:
     )
 
     processor = RuleProcessor(ruleset, database.copy())
+    started = time.perf_counter()
     for statement in args.run:
         processor.execute_user(statement)
     result = processor.run()
+    if profile is not None:
+        profile["execution"] = time.perf_counter() - started
+        profile["triggering"] = processor.stats.trigger_seconds
 
     sections: dict = {
         "execution": {
@@ -314,21 +340,30 @@ def _run_json(ruleset: RuleSet, schema: Schema, args) -> dict:
         fresh = RuleProcessor(ruleset, database.copy())
         for statement in args.run:
             fresh.execute_user(statement)
+        started = time.perf_counter()
         graph = explore(fresh)
+        if profile is not None:
+            profile["exploration"] = time.perf_counter() - started
         sections["exploration"] = graph.stats()
         sections["exploration"]["substrate_stats"] = fresh.stats.to_dict()
     return sections
 
 
-def _run_and_trace(ruleset: RuleSet, schema: Schema, args) -> None:
+def _run_and_trace(
+    ruleset: RuleSet, schema: Schema, args, profile: dict | None = None
+) -> None:
     database = (
         load_data(args.data, schema) if args.data else Database(schema)
     )
 
     processor = RuleProcessor(ruleset, database.copy())
+    started = time.perf_counter()
     for statement in args.run:
         processor.execute_user(statement)
     result, events = trace_run(processor)
+    if profile is not None:
+        profile["execution"] = time.perf_counter() - started
+        profile["triggering"] = processor.stats.trigger_seconds
 
     print("\n== rule processing trace ==")
     print(render_trace(events))
@@ -342,9 +377,13 @@ def _run_and_trace(ruleset: RuleSet, schema: Schema, args) -> None:
         fresh = RuleProcessor(ruleset, database.copy())
         for statement in args.run:
             fresh.execute_user(statement)
+        started = time.perf_counter()
         graph = explore(fresh)
+        if profile is not None:
+            profile["exploration"] = time.perf_counter() - started
         print("\n== execution-graph exploration ==")
         print(f"states explored:     {graph.state_count}")
+        print(f"states deduped:      {graph.states_deduped}")
         print(f"terminates:          {graph.terminates}")
         print(f"confluent:           {graph.is_confluent}")
         print(f"observable streams:  {len(graph.observable_streams)}")
@@ -363,6 +402,23 @@ def _print_stats(stats) -> None:
         print("  timings (s):")
         for phase, seconds in timings.items():
             print(f"    {phase}: {seconds}")
+    print("\n== query planner stats ==")
+    for key, value in plan.STATS.to_dict().items():
+        print(f"  {key}: {value}")
+
+
+def _profile_section(profile: dict) -> dict:
+    """The per-phase wall-time report: measured phases plus the planner's
+    accumulated planning time (every query planned by this process)."""
+    section = {phase: round(seconds, 6) for phase, seconds in profile.items()}
+    section["plan"] = round(plan.STATS.plan_seconds, 6)
+    return section
+
+
+def _print_profile(profile: dict) -> None:
+    print("\n== per-phase wall time (s) ==")
+    for phase, seconds in _profile_section(profile).items():
+        print(f"  {phase}: {seconds}")
 
 
 def _print_details(report) -> None:

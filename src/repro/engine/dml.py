@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine import plan as P
 from repro.engine.database import Database
 from repro.engine.expressions import Evaluator, RowContext
 from repro.engine.query import DatabaseProvider, QueryResult, execute_select
@@ -40,30 +41,32 @@ def execute_statement(
     stmt: ast.Statement,
     provider=None,
     log: DeltaLog | None = None,
+    planner: bool = True,
 ) -> StatementResult:
     """Execute one statement; returns a :class:`StatementResult`.
 
     ``provider`` defaults to a plain :class:`DatabaseProvider` over
     *database*; pass an overlay provider to expose transition tables.
     A :class:`~repro.errors.RollbackSignal` propagates out of ROLLBACK.
+    ``planner=False`` forces the naive reference executor throughout.
     """
     if provider is None:
         provider = DatabaseProvider(database)
 
     if isinstance(stmt, ast.Select):
-        result = execute_select(provider, stmt)
+        result = execute_select(provider, stmt, planner=planner)
         return StatementResult(
             kind="select", affected=len(result.rows), query_result=result
         )
 
     if isinstance(stmt, ast.Insert):
-        return _execute_insert(database, stmt, provider, log)
+        return _execute_insert(database, stmt, provider, log, planner)
 
     if isinstance(stmt, ast.Delete):
-        return _execute_delete(database, stmt, provider, log)
+        return _execute_delete(database, stmt, provider, log, planner)
 
     if isinstance(stmt, ast.Update):
-        return _execute_update(database, stmt, provider, log)
+        return _execute_update(database, stmt, provider, log, planner)
 
     if isinstance(stmt, ast.Rollback):
         raise RollbackSignal(stmt.message)
@@ -76,10 +79,13 @@ def execute_script(
     statements: list[ast.Statement],
     provider=None,
     log: DeltaLog | None = None,
+    planner: bool = True,
 ) -> list[StatementResult]:
     """Execute statements in order, stopping on rollback (which re-raises)."""
     return [
-        execute_statement(database, stmt, provider=provider, log=log)
+        execute_statement(
+            database, stmt, provider=provider, log=log, planner=planner
+        )
         for stmt in statements
     ]
 
@@ -94,14 +100,15 @@ def _execute_insert(
     stmt: ast.Insert,
     provider,
     log: DeltaLog | None,
+    planner: bool = True,
 ) -> StatementResult:
     table = stmt.table.lower()
     arity = len(database.schema.table(table))
 
     if stmt.query is not None:
-        rows = [tuple(row) for row in execute_select(provider, stmt.query).rows]
+        rows = list(execute_select(provider, stmt.query, planner=planner).rows)
     else:
-        evaluator = Evaluator(provider)
+        evaluator = Evaluator(provider, planner=planner)
         empty = RowContext()
         rows = [
             tuple(evaluator.evaluate(value, empty) for value in row)
@@ -135,21 +142,26 @@ def _matching_tids(
     binding: str,
     where: ast.Expression | None,
     provider,
+    planner: bool = True,
 ) -> list[int]:
     """Tids of rows in *table* satisfying *where* (pre-statement state)."""
+    if where is None:
+        return [row.tid for row in database.rows(table)]
     columns = database.schema.table(table).column_names
-    evaluator = Evaluator(provider)
+    evaluator = Evaluator(provider, planner=planner)
+    predicate = P.compile_predicate(where) if planner else None
     matched = []
+    context = RowContext()
     for row in database.rows(table):
-        if where is None:
-            matched.append(row.tid)
-            continue
-        context = RowContext()
         context.bind(binding, columns, row.values)
         if binding != table:
             # The bare table name also resolves, as in SQL.
             context.bind(table, columns, row.values)
-        if sql_is_truthy(evaluator.evaluate(where, context)):
+        if predicate is not None:
+            keep = predicate(context, evaluator)
+        else:
+            keep = evaluator.evaluate(where, context)
+        if sql_is_truthy(keep):
             matched.append(row.tid)
     return matched
 
@@ -159,10 +171,11 @@ def _execute_delete(
     stmt: ast.Delete,
     provider,
     log: DeltaLog | None,
+    planner: bool = True,
 ) -> StatementResult:
     table = stmt.table.lower()
     binding = (stmt.alias or stmt.table).lower()
-    tids = _matching_tids(database, table, binding, stmt.where, provider)
+    tids = _matching_tids(database, table, binding, stmt.where, provider, planner)
     for tid in tids:
         old = database.delete_row(table, tid)
         if log is not None:
@@ -182,6 +195,7 @@ def _execute_update(
     stmt: ast.Update,
     provider,
     log: DeltaLog | None,
+    planner: bool = True,
 ) -> StatementResult:
     table = stmt.table.lower()
     binding = (stmt.alias or stmt.table).lower()
@@ -192,10 +206,15 @@ def _execute_update(
         for assignment in stmt.assignments
     ]
 
-    tids = _matching_tids(database, table, binding, stmt.where, provider)
+    tids = _matching_tids(database, table, binding, stmt.where, provider, planner)
 
     # Compute all new values against the pre-statement state first.
-    evaluator = Evaluator(provider)
+    evaluator = Evaluator(provider, planner=planner)
+    if planner:
+        compiled = [
+            (index, P.compile_predicate(value_expr))
+            for index, value_expr in assignment_indexes
+        ]
     planned: list[tuple[int, tuple, tuple]] = []
     table_data = database.table(table)
     for tid in tids:
@@ -206,8 +225,12 @@ def _execute_update(
         if binding != table:
             context.bind(table, columns, old)
         new = list(old)
-        for index, value_expr in assignment_indexes:
-            new[index] = evaluator.evaluate(value_expr, context)
+        if planner:
+            for index, value in compiled:
+                new[index] = value(context, evaluator)
+        else:
+            for index, value_expr in assignment_indexes:
+                new[index] = evaluator.evaluate(value_expr, context)
         planned.append((tid, old, tuple(new)))
 
     for tid, old, new in planned:

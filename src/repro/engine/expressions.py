@@ -76,11 +76,14 @@ class Evaluator:
     """Evaluates expressions against a table provider and a row context.
 
     ``provider`` must implement ``resolve(name) -> (columns, rows)``; it
-    is only consulted when a subquery must be executed.
+    is only consulted when a subquery must be executed. ``planner``
+    selects the execution path for those subqueries, so a naive-path
+    query stays naive all the way down.
     """
 
-    def __init__(self, provider) -> None:
+    def __init__(self, provider, planner: bool = True) -> None:
         self._provider = provider
+        self._planner = planner
 
     def evaluate(self, expr: ast.Expression, context: RowContext):
         if isinstance(expr, ast.Literal):
@@ -229,4 +232,6 @@ class Evaluator:
     ) -> list[tuple]:
         from repro.engine.query import execute_select
 
-        return execute_select(self._provider, select, outer_context=context).rows
+        return execute_select(
+            self._provider, select, outer_context=context, planner=self._planner
+        ).rows

@@ -1,6 +1,6 @@
-"""SELECT execution: scan, filter (join via cross product), project, aggregate.
+"""SELECT execution: plan-driven scan/filter/hash-join, project, aggregate.
 
-Table access goes through a *provider* with a single method::
+Table access goes through a *provider* with a single required method::
 
     resolve(name) -> (column_names, list_of_value_tuples)
 
@@ -8,13 +8,24 @@ Table access goes through a *provider* with a single method::
 in an overlay provider that adds the four transition tables. Keeping the
 executor provider-agnostic is what lets rule conditions reference
 ``inserted``/``deleted``/``new_updated``/``old_updated`` with no special
-cases here.
+cases here. Providers may additionally expose
+``equality_index(name, cols)`` returning a persistent hash index (or
+None); :mod:`repro.engine.plan` uses it to serve equality filters and
+hash-join builds without scanning.
+
+Execution is planned by default (see :mod:`repro.engine.plan`):
+pushed-down filters, order-preserving hash joins, and compiled
+predicates. ``execute_select(..., planner=False)`` keeps the original
+cross-product-over-full-scans path as the reference implementation; the
+two are required to produce byte-identical results, which the
+equivalence harness and the ``bench_query_engine`` gate enforce.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import plan as P
 from repro.engine import values as V
 from repro.engine.database import Database
 from repro.engine.expressions import Evaluator, RowContext
@@ -32,6 +43,10 @@ class DatabaseProvider:
         table = self._database.table(name)
         columns = self._database.schema.table(name).column_names
         return columns, table.value_tuples()
+
+    def equality_index(self, name: str, cols: tuple[int, ...]) -> dict:
+        """The table's persistent hash index on the columns at *cols*."""
+        return self._database.table(name).equality_index(cols)
 
 
 class OverlayProvider:
@@ -51,13 +66,26 @@ class OverlayProvider:
             return overlay
         return self._base.resolve(name)
 
+    def equality_index(self, name: str, cols: tuple[int, ...]):
+        """Delegate for base tables; None for overlays (the planner
+        builds a transient index over the — typically tiny — overlay)."""
+        if name.lower() in self._overlays:
+            return None
+        getter = getattr(self._base, "equality_index", None)
+        return None if getter is None else getter(name, cols)
+
 
 @dataclass(frozen=True)
 class QueryResult:
-    """The output of a SELECT: column names and value rows."""
+    """The output of a SELECT: column names and value rows.
+
+    ``rows`` is a tuple (of value tuples): results are immutable, so a
+    caller can neither alias nor corrupt another caller's view of the
+    same result.
+    """
 
     columns: tuple[str, ...]
-    rows: list[tuple]
+    rows: tuple[tuple, ...]
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -105,13 +133,16 @@ def execute_select(
     provider,
     select: ast.Select,
     outer_context: RowContext | None = None,
+    planner: bool = True,
 ) -> QueryResult:
     """Execute *select* against *provider* and return its result rows.
 
     ``outer_context`` carries the enclosing row bindings when this
-    select is a correlated subquery.
+    select is a correlated subquery. ``planner=False`` forces the naive
+    cross-product reference path; both paths must return byte-identical
+    results.
     """
-    evaluator = Evaluator(provider)
+    evaluator = Evaluator(provider, planner=planner)
 
     sources = []
     seen_names: set[str] = set()
@@ -123,22 +154,28 @@ def execute_select(
         seen_names.add(binding)
         sources.append((binding, columns, rows))
 
-    matched: list[RowContext] = []
-    matched_rows: list[list[tuple]] = []  # raw rows per source, for star/agg
-    for context in _iter_contexts(sources, outer_context):
-        if select.where is not None:
-            keep = evaluator.evaluate(select.where, context)
-            if not V.sql_is_truthy(keep):
-                continue
-        # Contexts are reused mutably by _iter_contexts; capture the rows.
-        snapshot = RowContext(outer=outer_context)
-        raw: list[tuple] = []
-        for name, columns, __ in sources:
-            row = context.lookup_row(name)
-            snapshot.bind(name, columns, row)
-            raw.append(row)
-        matched.append(snapshot)
-        matched_rows.append(raw)
+    plan = None
+    if planner:
+        matched, matched_rows, plan = P.execute_planned(
+            provider, select, sources, outer_context, evaluator
+        )
+    else:
+        matched = []
+        matched_rows = []  # raw rows per source, for star/agg
+        for context in _iter_contexts(sources, outer_context):
+            if select.where is not None:
+                keep = evaluator.evaluate(select.where, context)
+                if not V.sql_is_truthy(keep):
+                    continue
+            # Contexts are reused mutably by _iter_contexts; capture the rows.
+            snapshot = RowContext(outer=outer_context)
+            raw: list[tuple] = []
+            for name, columns, __ in sources:
+                row = context.lookup_row(name)
+                snapshot.bind(name, columns, row)
+                raw.append(row)
+            matched.append(snapshot)
+            matched_rows.append(raw)
 
     if select.is_star:
         if select.group_by:
@@ -153,23 +190,34 @@ def execute_select(
         ]
         if select.distinct:
             rows = _distinct(rows)
-        return QueryResult(columns=columns, rows=rows)
+        return QueryResult(columns=columns, rows=tuple(rows))
 
     if select.group_by:
         return _execute_grouped(evaluator, select, matched)
 
-    has_aggregate = any(_contains_aggregate(item.expr) for item in select.items)
-    if has_aggregate:
-        output_row = tuple(
-            _evaluate_aggregate_item(evaluator, item.expr, matched)
-            for item in select.items
-        )
-        rows = [output_row]
-    else:
+    if plan is not None and plan.items is not None:
         rows = [
-            tuple(evaluator.evaluate(item.expr, context) for item in select.items)
+            tuple(item(context, evaluator) for item in plan.items)
             for context in matched
         ]
+    else:
+        has_aggregate = any(
+            _contains_aggregate(item.expr) for item in select.items
+        )
+        if has_aggregate:
+            output_row = tuple(
+                _evaluate_aggregate_item(evaluator, item.expr, matched)
+                for item in select.items
+            )
+            rows = [output_row]
+        else:
+            rows = [
+                tuple(
+                    evaluator.evaluate(item.expr, context)
+                    for item in select.items
+                )
+                for context in matched
+            ]
 
     if select.distinct:
         rows = _distinct(rows)
@@ -178,7 +226,7 @@ def execute_select(
         item.alias or _default_column_name(item.expr, index)
         for index, item in enumerate(select.items)
     )
-    return QueryResult(columns=columns, rows=rows)
+    return QueryResult(columns=columns, rows=tuple(rows))
 
 
 def _default_column_name(expr: ast.Expression, index: int) -> str:
@@ -248,7 +296,7 @@ def _execute_grouped(
         item.alias or _default_column_name(item.expr, index)
         for index, item in enumerate(select.items)
     )
-    return QueryResult(columns=columns, rows=rows)
+    return QueryResult(columns=columns, rows=tuple(rows))
 
 
 def _evaluate_aggregate_item(

@@ -18,7 +18,7 @@ parent's sort work.
 
 from __future__ import annotations
 
-from repro.engine.values import row_sort_key
+from repro.engine.values import row_sort_key, sort_key
 from repro.errors import ExecutionError
 
 
@@ -49,7 +49,16 @@ class Row:
 class TableData:
     """The extension of one table: a tid-keyed map of value tuples."""
 
-    __slots__ = ("name", "arity", "_rows", "_shared", "_canonical", "_row_list")
+    __slots__ = (
+        "name",
+        "arity",
+        "_rows",
+        "_shared",
+        "_canonical",
+        "_row_list",
+        "_values_list",
+        "_indexes",
+    )
 
     def __init__(self, name: str, arity: int) -> None:
         self.name = name
@@ -61,11 +70,20 @@ class TableData:
         self._canonical: tuple | None = None
         #: memoized rows() result (tid order) — None when dirty
         self._row_list: list[Row] | None = None
+        #: memoized value_tuples() result (tid order) — None when dirty
+        self._values_list: list[tuple] | None = None
+        #: memoized equality indexes, column-index-tuple -> key -> rows.
+        #: Shared with copy-on-write clones; writes never mutate a
+        #: possibly-aliased dict — they replace it (see :meth:`_own`).
+        self._indexes: dict[tuple[int, ...], dict] = {}
 
     def _own(self) -> None:
         if self._shared:
             self._rows = dict(self._rows)
             self._shared = False
+            # The index cache may be aliased by the other side of the
+            # share; start a fresh one rather than mutating it.
+            self._indexes = {}
 
     def insert(self, tid: int, values: tuple) -> None:
         if len(values) != self.arity:
@@ -79,6 +97,21 @@ class TableData:
         self._rows[tid] = values
         self._canonical = None
         self._row_list = None
+        self._values_list = None
+        if self._indexes:
+            # Inserts maintain existing indexes incrementally: tids are
+            # allocated monotonically, so appending keeps bucket (tid)
+            # order. NULL keys stay excluded.
+            for cols, index in self._indexes.items():
+                key = []
+                for col in cols:
+                    value = values[col]
+                    if value is None:
+                        key = None
+                        break
+                    key.append(sort_key(value))
+                if key is not None:
+                    index.setdefault(tuple(key), []).append(values)
 
     def delete(self, tid: int) -> tuple:
         if tid not in self._rows:
@@ -86,6 +119,8 @@ class TableData:
         self._own()
         self._canonical = None
         self._row_list = None
+        self._values_list = None
+        self._indexes = {}
         return self._rows.pop(tid)
 
     def update(self, tid: int, values: tuple) -> tuple:
@@ -102,6 +137,8 @@ class TableData:
         self._rows[tid] = values
         self._canonical = None
         self._row_list = None
+        self._values_list = None
+        self._indexes = {}
         return old
 
     def get(self, tid: int) -> tuple | None:
@@ -119,7 +156,34 @@ class TableData:
         return self._row_list
 
     def value_tuples(self) -> list[tuple]:
-        return [row.values for row in self.rows()]
+        """All value tuples, in tid order.
+
+        The returned list is cached and shared (like :meth:`rows`);
+        callers must not mutate it.
+        """
+        if self._values_list is None:
+            self._values_list = [row.values for row in self.rows()]
+        return self._values_list
+
+    def equality_index(self, cols: tuple[int, ...]) -> dict:
+        """A hash index over the columns at indexes *cols*.
+
+        Maps :func:`~repro.engine.values.sort_key`-wrapped key tuples to
+        value-tuple buckets in tid order; rows with a NULL key column are
+        excluded (NULL never compares equal). The index is memoized like
+        :meth:`canonical`: it survives copy-on-write :meth:`copy` forks,
+        advances incrementally under inserts, and invalidates on
+        deletes/updates (and on the first write after a fork). Callers
+        must not mutate the returned dict or its buckets.
+        """
+        index = self._indexes.get(cols)
+        if index is None:
+            from repro.engine.plan import STATS, build_equality_index
+
+            index = build_equality_index(self.value_tuples(), cols)
+            self._indexes[cols] = index
+            STATS.index_builds += 1
+        return index
 
     def canonical(self) -> tuple:
         """The table's contents as a sorted bag of value tuples.
@@ -150,6 +214,10 @@ class TableData:
             clone._shared = True
             clone._canonical = self._canonical
             clone._row_list = self._row_list
+            clone._values_list = self._values_list
+            # Index cache sharing is safe: the first write on either
+            # side replaces (never mutates) its _indexes dict via _own.
+            clone._indexes = self._indexes
         else:
             clone._rows = dict(self._rows)
         return clone

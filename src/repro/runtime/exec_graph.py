@@ -50,6 +50,11 @@ class ExecutionGraph:
     truncated: bool = False
     #: True if path enumeration hit its budget (streams are partial)
     streams_truncated: bool = False
+    #: duplicate states merged during exploration: a consider() produced
+    #: a state whose fingerprint (memoized Database.canonical() plus the
+    #: per-rule pending transitions) was already seen, so the branch was
+    #: folded into the existing node instead of re-explored
+    states_deduped: int = 0
     #: complete paths enumerated by the stream phase (0 when that phase
     #: was skipped because the graph is cyclic or truncated)
     _path_count: int = 0
@@ -91,6 +96,7 @@ class ExecutionGraph:
         surface; mirrors the analysis engine's stats section)."""
         return {
             "states": self.state_count,
+            "states_deduped": self.states_deduped,
             "final_states": len(self.final_states),
             "distinct_final_databases": len(set(self.final_databases.values())),
             "observable_streams": len(self.observable_streams),
@@ -168,6 +174,8 @@ def explore(
             if child_key not in seen:
                 seen[child_key] = True
                 frontier.append((child, depth + 1, child_key))
+            else:
+                graph.states_deduped += 1
         graph.edges[key] = successors
 
     graph.has_cycle = _has_reachable_cycle(graph)

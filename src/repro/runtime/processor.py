@@ -34,8 +34,10 @@ benchmark gate asserts both modes produce byte-identical results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro.engine import plan as P
 from repro.engine.database import Database
 from repro.engine.dml import execute_statement
 from repro.engine.expressions import Evaluator, RowContext
@@ -99,6 +101,8 @@ class ProcessorStats:
     primitives_scanned: int = 0
     forks: int = 0
     considerations: int = 0
+    #: wall time spent in triggered_rules() scans (the --profile surface)
+    trigger_seconds: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -109,6 +113,7 @@ class ProcessorStats:
             "primitives_scanned": self.primitives_scanned,
             "forks": self.forks,
             "considerations": self.considerations,
+            "trigger_seconds": round(self.trigger_seconds, 6),
         }
 
 
@@ -165,6 +170,7 @@ class RuleProcessor:
         strategy=None,
         max_steps: int = 10_000,
         incremental: bool = True,
+        planner: bool = True,
     ) -> None:
         if ruleset.schema is not database.schema:
             raise RuleProcessingError(
@@ -175,6 +181,10 @@ class RuleProcessor:
         self.strategy = strategy or FirstEligibleStrategy()
         self.max_steps = max_steps
         self.incremental = incremental
+        #: route condition/action SELECTs through the planned executor
+        #: (plans and compiled predicates are cached per rule AST, so
+        #: every processor step and every explore() fork reuses them)
+        self.planner = planner
 
         self.log = DeltaLog()
         self.markers: dict[str, int] = {rule.name: 0 for rule in ruleset}
@@ -206,7 +216,9 @@ class RuleProcessor:
             raise RuleProcessingError("transaction was rolled back")
         if isinstance(statement, str):
             statement = parse_statement(statement)
-        return execute_statement(self.database, statement, log=self.log)
+        return execute_statement(
+            self.database, statement, log=self.log, planner=self.planner
+        )
 
     # ------------------------------------------------------------------
     # Triggering
@@ -287,11 +299,14 @@ class RuleProcessor:
         """All currently triggered rules, in definition order."""
         if self._rolled_back:
             return ()
-        return tuple(
+        started = time.perf_counter()
+        triggered = tuple(
             rule.name
             for rule in self.ruleset
             if self.ruleset.is_active(rule.name) and self._is_triggered(rule)
         )
+        self.stats.trigger_seconds += time.perf_counter() - started
+        return triggered
 
     def eligible_rules(self) -> tuple[str, ...]:
         """``Choose`` applied to the current triggered set."""
@@ -335,8 +350,12 @@ class RuleProcessor:
 
         condition_true = True
         if rule.condition is not None:
-            evaluator = Evaluator(provider)
-            value = evaluator.evaluate(rule.condition, RowContext())
+            evaluator = Evaluator(provider, planner=self.planner)
+            if self.planner:
+                condition = P.compile_predicate(rule.condition)
+                value = condition(RowContext(), evaluator)
+            else:
+                value = evaluator.evaluate(rule.condition, RowContext())
             condition_true = sql_is_truthy(value)
 
         if not condition_true:
@@ -350,7 +369,11 @@ class RuleProcessor:
         try:
             for action in rule.actions:
                 result = execute_statement(
-                    self.database, action, provider=provider, log=self.log
+                    self.database,
+                    action,
+                    provider=provider,
+                    log=self.log,
+                    planner=self.planner,
                 )
                 if result.kind == "select":
                     self.observables.append(
@@ -425,22 +448,34 @@ class RuleProcessor:
     # ------------------------------------------------------------------
 
     def _pending_canonical(self, rule_name: str) -> tuple:
-        """Canonical pending transition, memoized per fold position."""
+        """Canonical *visible* pending transition, memoized per fold.
+
+        Restricted to the rule's subscribed table: triggering checks and
+        transition-table overlays both read only
+        ``net_effect.table(rule.table)``, and everything else the rule
+        can see (the database proper) is keyed separately, so pending
+        writes on other tables are invisible to this rule's future
+        behavior and must not block state merging.
+        """
+        table = self.ruleset.rule(rule_name).table
         if not self.incremental:
-            return self.pending_net_effect(rule_name).canonical()
+            return self.pending_net_effect(rule_name).table(table).canonical()
         transition = self._transition_for(rule_name)
         if transition.canonical_at != transition.position:
-            transition.canonical = transition.net.canonical()
+            transition.canonical = transition.net.table(table).canonical()
             transition.canonical_at = transition.position
         return transition.canonical
 
     def state_key(self) -> tuple:
         """A hashable canonical key for the execution-graph state (D, TR).
 
-        Includes the pending transition of *every* rule (not just the
-        triggered ones): a pending-but-not-yet-triggering composite
-        transition influences future triggering, so states that differ
-        there must not be merged.
+        Includes the visible pending transition of *every* rule (not
+        just the triggered ones): a pending-but-not-yet-triggering
+        composite transition on the rule's own table influences future
+        triggering, so states that differ there must not be merged.
+        Execution orders that converge to the same database with the
+        same visible pendings *do* merge (``explore()`` counts them in
+        ``states_deduped``).
 
         Canonical fragments are memoized: per-table database canonicals
         carry across copy-on-write forks until the table is written, and
@@ -487,6 +522,7 @@ class RuleProcessor:
         clone.strategy = self.strategy
         clone.max_steps = self.max_steps
         clone.incremental = self.incremental
+        clone.planner = self.planner
         clone.markers = dict(self.markers)
         clone.observables = list(self.observables)
         clone.stats = self.stats

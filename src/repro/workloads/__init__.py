@@ -8,7 +8,9 @@
   (a triggering-graph cycle that terminates by monotonic decrease);
 * :mod:`repro.workloads.applications` — medium-sized sample applications
   for the Section 6.4 repair-loop, partial-confluence and observable-
-  determinism experiments.
+  determinism experiments;
+* :mod:`repro.workloads.queries` — seeded query workloads for the
+  query-engine benchmark gate (join-heavy and selective-filter shapes).
 """
 
 from repro.workloads.generator import (
@@ -26,6 +28,10 @@ from repro.workloads.applications import (
     procurement_application,
     scratch_table_application,
 )
+from repro.workloads.queries import (
+    join_heavy_workload,
+    selective_filter_workload,
+)
 
 __all__ = [
     "GeneratorConfig",
@@ -39,4 +45,6 @@ __all__ = [
     "inventory_application",
     "procurement_application",
     "scratch_table_application",
+    "join_heavy_workload",
+    "selective_filter_workload",
 ]

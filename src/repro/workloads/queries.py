@@ -1,0 +1,125 @@
+"""Seeded query workloads for the query-engine benchmark gate.
+
+Two shapes, mirroring the two planner wins:
+
+* :func:`join_heavy_workload` — multi-table conjunctive equi-joins,
+  where the naive executor pays the full cross product and the planner
+  hash-probes (``bench_query_engine``'s ≥5× gate runs on this);
+* :func:`selective_filter_workload` — single-table equality filters over
+  a wide table, where the planner answers from a persistent per-table
+  hash index instead of scanning.
+
+Both are deterministic given their seed so benchmark runs (and the
+naive/planned byte-identical-results assertion) are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.database import Database
+from repro.lang.parser import parse_statement
+from repro.schema.catalog import schema_from_spec
+
+
+def join_heavy_workload(
+    seed: int = 0,
+    orders: int = 300,
+    customers: int = 60,
+    items: int = 20,
+):
+    """A 3-table order/customer/item instance plus equi-join queries.
+
+    Returns ``(database, queries)``; the queries are parsed SELECTs
+    combining two- and three-way equality joins with selective
+    single-table filters, so the naive executor's cost is the full cross
+    product (``orders * customers * items`` contexts) while the planner
+    probes hash buckets.
+    """
+    rng = random.Random(seed)
+    schema = schema_from_spec(
+        {
+            "customers": ["id", "region", "tier"],
+            "items": ["id", "price", "kind"],
+            "orders": ["id", "customer_id", "item_id", "qty"],
+        }
+    )
+    database = Database(schema)
+    database.load(
+        "customers",
+        [(i, rng.randrange(8), rng.randrange(3)) for i in range(customers)],
+    )
+    database.load(
+        "items",
+        [(i, rng.randrange(5, 500), rng.randrange(4)) for i in range(items)],
+    )
+    database.load(
+        "orders",
+        [
+            (
+                i,
+                rng.randrange(customers),
+                rng.randrange(items),
+                rng.randrange(1, 9),
+            )
+            for i in range(orders)
+        ],
+    )
+    queries = [
+        parse_statement(text)
+        for text in (
+            "select o.id, c.region, i.price "
+            "from orders o, customers c, items i "
+            "where o.customer_id = c.id and o.item_id = i.id and c.tier = 1",
+            "select o.id, i.kind from orders o, items i "
+            "where o.item_id = i.id and i.kind = 2 and o.qty > 4",
+            "select count(*) from orders o, customers c "
+            "where o.customer_id = c.id and c.region = 3",
+            "select o.qty, c.tier from orders o, customers c "
+            "where c.id = o.customer_id and c.tier = 0 and o.qty = 3",
+        )
+    ]
+    return database, queries
+
+
+def selective_filter_workload(seed: int = 0, rows: int = 5000):
+    """A wide single-table instance plus selective equality queries.
+
+    Returns ``(database, queries)``; every query filters ``events`` on
+    column equality with a constant, so the planner serves it from one
+    persistent hash index build while the naive executor rescans all
+    *rows* tuples per query.
+    """
+    rng = random.Random(seed)
+    schema = schema_from_spec(
+        {"events": ["id", "kind", "source", "severity", "value"]}
+    )
+    database = Database(schema)
+    database.load(
+        "events",
+        [
+            (
+                i,
+                rng.randrange(50),
+                rng.randrange(200),
+                rng.randrange(5),
+                rng.randrange(1000),
+            )
+            for i in range(rows)
+        ],
+    )
+    queries = [
+        parse_statement(text)
+        for text in (
+            [
+                f"select id, value from events where kind = {kind}"
+                for kind in range(0, 50, 7)
+            ]
+            + [
+                f"select count(*), sum(value) from events "
+                f"where source = {source} and severity = 2"
+                for source in range(0, 200, 23)
+            ]
+        )
+    ]
+    return database, queries

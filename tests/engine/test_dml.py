@@ -123,7 +123,7 @@ class TestSelectStatement:
     def test_select_returns_query_result(self, database):
         result = run(database, "select id from t where v = 10")
         assert result.kind == "select"
-        assert result.query_result.rows == [(1,)]
+        assert list(result.query_result.rows) == [(1,)]
 
 
 class TestRollback:

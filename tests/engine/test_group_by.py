@@ -73,7 +73,7 @@ class TestGroupBy:
             provider,
             "select dept, count(*) from emp where salary > 999 group by dept",
         )
-        assert result.rows == []
+        assert list(result.rows) == []
 
     def test_group_over_join(self, provider):
         result = run(

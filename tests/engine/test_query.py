@@ -38,12 +38,12 @@ class TestProjection:
     def test_select_columns(self, provider):
         result = run(provider, "select salary, id from emp where id = 1")
         assert result.columns == ("salary", "id")
-        assert result.rows == [(100, 1)]
+        assert list(result.rows) == [(100, 1)]
 
     def test_computed_column_with_alias(self, provider):
         result = run(provider, "select salary * 2 as double_pay from emp where id = 1")
         assert result.columns == ("double_pay",)
-        assert result.rows == [(200,)]
+        assert list(result.rows) == [(200,)]
 
     def test_default_column_names(self, provider):
         result = run(provider, "select salary + 1, salary from emp where id = 1")
@@ -58,10 +58,10 @@ class TestFiltering:
     def test_unknown_predicate_drops_row(self, provider):
         # NULL comparison is UNKNOWN, row dropped.
         result = run(provider, "select id from emp where salary > null")
-        assert result.rows == []
+        assert list(result.rows) == []
 
     def test_no_rows_match(self, provider):
-        assert run(provider, "select * from emp where id = 99").rows == []
+        assert list(run(provider, "select * from emp where id = 99").rows) == []
 
 
 class TestJoin:
@@ -82,7 +82,7 @@ class TestJoin:
             "select a.id, b.id from emp a, emp b "
             "where a.dept = b.dept and a.id < b.id",
         )
-        assert result.rows == [(1, 2)]
+        assert list(result.rows) == [(1, 2)]
 
     def test_star_with_join_qualifies_columns(self, provider):
         result = run(provider, "select * from emp e, dept d where e.dept = d.id")
@@ -116,14 +116,14 @@ class TestAggregates:
             provider,
             "select sum(salary), min(salary), max(salary), avg(salary) from emp",
         )
-        assert result.rows == [(600, 100, 300, 200.0)]
+        assert list(result.rows) == [(600, 100, 300, 200.0)]
 
     def test_aggregate_arithmetic(self, provider):
         assert run(provider, "select count(*) + 1 from emp").scalar() == 4
 
     def test_aggregate_over_empty_set(self, provider):
         result = run(provider, "select count(*), sum(salary) from emp where id = 99")
-        assert result.rows == [(0, None)]
+        assert list(result.rows) == [(0, None)]
 
     def test_count_distinct(self, provider):
         assert run(provider, "select count(distinct dept) from emp").scalar() == 2
@@ -146,7 +146,7 @@ class TestSubqueries:
             provider,
             "select id from emp where dept in (select id from dept where budget > 1500)",
         )
-        assert result.rows == [(3,)]
+        assert list(result.rows) == [(3,)]
 
     def test_correlated_exists(self, provider):
         result = run(
@@ -154,14 +154,14 @@ class TestSubqueries:
             "select d.id from dept d where exists "
             "(select * from emp e where e.dept = d.id and e.salary > 250)",
         )
-        assert result.rows == [(20,)]
+        assert list(result.rows) == [(20,)]
 
     def test_scalar_subquery_in_projection(self, provider):
         result = run(
             provider,
             "select id, (select max(budget) from dept) from emp where id = 1",
         )
-        assert result.rows == [(1, 2000)]
+        assert list(result.rows) == [(1, 2000)]
 
 
 class TestOverlayProvider:
@@ -170,14 +170,14 @@ class TestOverlayProvider:
             provider, {"emp": (("id",), [(42,)])}
         )
         result = execute_select(overlay, parse_statement("select * from emp"))
-        assert result.rows == [(42,)]
+        assert list(result.rows) == [(42,)]
 
     def test_overlay_passes_through_other_tables(self, provider):
         overlay = OverlayProvider(provider, {"inserted": (("id",), [(1,)])})
         result = execute_select(overlay, parse_statement("select * from dept"))
         assert len(result) == 2
         result = execute_select(overlay, parse_statement("select * from inserted"))
-        assert result.rows == [(1,)]
+        assert list(result.rows) == [(1,)]
 
 
 class TestQueryResult:
@@ -188,3 +188,40 @@ class TestQueryResult:
     def test_iteration(self, provider):
         rows = list(run(provider, "select id from emp where dept = 10"))
         assert sorted(rows) == [(1,), (2,)]
+
+
+class TestQueryResultImmutability:
+    """Regression: rows used to be a list callers could alias/mutate."""
+
+    def test_rows_is_a_tuple(self, provider):
+        result = run(provider, "select * from emp")
+        assert isinstance(result.rows, tuple)
+        assert all(isinstance(row, tuple) for row in result.rows)
+
+    def test_rows_cannot_be_mutated(self, provider):
+        result = run(provider, "select id from emp")
+        with pytest.raises((TypeError, AttributeError)):
+            result.rows.append((99,))
+
+    def test_all_paths_return_tuples(self, provider):
+        for source in (
+            "select * from emp",
+            "select id from emp where dept = 10",
+            "select count(*) from emp",
+            "select dept, count(*) from emp group by dept",
+            "select distinct dept from emp",
+            "select id from emp where dept = 10",
+        ):
+            for planner in (False, True):
+                result = execute_select(
+                    provider, parse_statement(source), planner=planner
+                )
+                assert isinstance(result.rows, tuple), (source, planner)
+
+    def test_subquery_sees_immutable_rows(self, provider):
+        result = run(
+            provider,
+            "select id from emp where dept in (select id from dept)",
+        )
+        assert isinstance(result.rows, tuple)
+        assert len(result.rows) == 3

@@ -84,3 +84,70 @@ class TestCopy:
         clone.update(1, (0, 0))
         assert table.get(1) == (1, 10)
         assert clone.get(1) == (0, 0)
+
+
+class TestEqualityIndex:
+    def test_buckets_in_tid_order(self):
+        data = TableData("t", 2)
+        data.insert(3, (1, 30))
+        data.insert(1, (1, 10))
+        data.insert(2, (2, 20))
+        index = data.equality_index((0,))
+        [bucket] = [rows for key, rows in index.items() if rows[0][0] == 1]
+        assert bucket == [(1, 10), (1, 30)]
+
+    def test_null_keys_excluded(self):
+        data = TableData("t", 2)
+        data.insert(1, (None, 10))
+        data.insert(2, (5, 20))
+        index = data.equality_index((0,))
+        assert sum(len(rows) for rows in index.values()) == 1
+
+    def test_memoized_until_write(self, table):
+        first = table.equality_index((0,))
+        assert table.equality_index((0,)) is first
+
+    def test_insert_maintains_incrementally(self, table):
+        index = table.equality_index((1,))
+        table.insert(3, (3, 20))
+        assert table.equality_index((1,)) is index
+        keys_with_20 = [
+            rows for rows in index.values() if (2, 20) in rows
+        ]
+        assert keys_with_20 == [[(2, 20), (3, 20)]]
+
+    def test_insert_with_null_key_skips_index(self, table):
+        index = table.equality_index((1,))
+        size_before = sum(len(rows) for rows in index.values())
+        table.insert(3, (3, None))
+        assert sum(len(rows) for rows in index.values()) == size_before
+
+    def test_delete_invalidates(self, table):
+        first = table.equality_index((0,))
+        table.delete(1)
+        second = table.equality_index((0,))
+        assert second is not first
+        assert sum(len(rows) for rows in second.values()) == 1
+
+    def test_update_invalidates(self, table):
+        first = table.equality_index((0,))
+        table.update(1, (7, 10))
+        assert table.equality_index((0,)) is not first
+
+    def test_bool_and_int_keys_stay_distinct(self):
+        data = TableData("t", 1)
+        data.insert(1, (1,))
+        data.insert(2, (True,))
+        index = data.equality_index((0,))
+        assert len(index) == 2
+
+    def test_cow_fork_shares_then_diverges(self, table):
+        index = table.equality_index((0,))
+        clone = table.copy()
+        # The clone reuses the parent's index until either side writes.
+        assert clone.equality_index((0,)) is index
+        clone.insert(3, (3, 30))
+        assert clone.equality_index((0,)) is not index
+        # The parent's cached index is untouched by the clone's write.
+        assert table.equality_index((0,)) is index
+        assert sum(len(rows) for rows in index.values()) == 2
