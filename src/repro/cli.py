@@ -177,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --run: also enumerate every execution order and report "
         "the instance's observed behavior",
     )
+    parser.add_argument(
+        "--durable",
+        metavar="FILE.wal",
+        help="with --run: log the transaction to a write-ahead log at "
+        "FILE.wal and commit at quiescence; `repro recover FILE.wal` "
+        "replays it after a crash",
+    )
     return parser
 
 
@@ -311,11 +318,18 @@ def _run_json(
         load_data(args.data, schema) if args.data else Database(schema)
     )
 
-    processor = RuleProcessor(ruleset, database.copy())
+    durable = getattr(args, "durable", None)
+    processor = RuleProcessor(
+        ruleset,
+        database.copy(),
+        durable=durable is not None,
+        wal_path=durable,
+    )
     started = time.perf_counter()
     for statement in args.run:
         processor.execute_user(statement)
     result = processor.run()
+    wal_section = _finish_durable(processor, durable)
     if profile is not None:
         profile["execution"] = time.perf_counter() - started
         profile["triggering"] = processor.stats.trigger_seconds
@@ -335,6 +349,8 @@ def _run_json(
             "stats": processor.stats.to_dict(),
         }
     }
+    if wal_section is not None:
+        sections["execution"]["wal"] = wal_section
 
     if args.explore:
         fresh = RuleProcessor(ruleset, database.copy())
@@ -349,6 +365,26 @@ def _run_json(
     return sections
 
 
+def _finish_durable(processor: RuleProcessor, durable: str | None):
+    """Commit (or abort-close) the durable run; return the WAL summary.
+
+    A rolled-back transaction already wrote its abort marker — closing
+    without a commit leaves recovery at the previous durable state,
+    which is exactly the rollback semantics.
+    """
+    if durable is None:
+        return None
+    stats = processor.wal.stats
+    frames = None if processor.rolled_back else processor.commit()
+    processor.close()
+    return {
+        "path": durable,
+        "committed": frames is not None,
+        "frames": frames if frames is not None else stats.frames_emitted,
+        **stats.to_dict(),
+    }
+
+
 def _run_and_trace(
     ruleset: RuleSet, schema: Schema, args, profile: dict | None = None
 ) -> None:
@@ -356,11 +392,18 @@ def _run_and_trace(
         load_data(args.data, schema) if args.data else Database(schema)
     )
 
-    processor = RuleProcessor(ruleset, database.copy())
+    durable = getattr(args, "durable", None)
+    processor = RuleProcessor(
+        ruleset,
+        database.copy(),
+        durable=durable is not None,
+        wal_path=durable,
+    )
     started = time.perf_counter()
     for statement in args.run:
         processor.execute_user(statement)
     result, events = trace_run(processor)
+    wal_section = _finish_durable(processor, durable)
     if profile is not None:
         profile["execution"] = time.perf_counter() - started
         profile["triggering"] = processor.stats.trigger_seconds
@@ -372,6 +415,16 @@ def _run_and_trace(
     for table in schema:
         rows = processor.database.table(table.name).value_tuples()
         print(f"  {table.name}: {rows}")
+    if wal_section is not None:
+        print("\n== durability ==")
+        state = "committed" if wal_section["committed"] else "aborted"
+        print(f"WAL {wal_section['path']}: {state}")
+        print(
+            f"frames: {wal_section['frames']}  "
+            f"primitives: {wal_section['primitives_logged']}  "
+            f"bytes: {wal_section['bytes_written']}  "
+            f"fsyncs: {wal_section['syncs']}"
+        )
 
     if args.explore:
         fresh = RuleProcessor(ruleset, database.copy())
@@ -522,6 +575,30 @@ def build_repro_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
     analyze.add_argument("args", nargs=argparse.REMAINDER)
+
+    recover = commands.add_parser(
+        "recover",
+        help="replay the committed prefix of a write-ahead log",
+        description=(
+            "Recover the database state as of the last committed "
+            "transaction in a WAL written by a durable run "
+            "(starburst-analyze --run ... --durable FILE.wal). Torn or "
+            "corrupt tails are truncated; uncommitted and aborted "
+            "transactions are discarded. Exits 2 if the file is not a "
+            "readable WAL."
+        ),
+    )
+    recover.add_argument("wal", help="WAL file to replay")
+    recover.add_argument(
+        "--schema",
+        help="schema spec file to verify against the log's header "
+        "(the log is self-describing; this cross-checks it)",
+    )
+    recover.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the recovery report and recovered tables as JSON",
+    )
     return parser
 
 
@@ -579,10 +656,58 @@ def _run_lint(args) -> int:
     return 1 if report.has_errors else 0
 
 
+def _run_recover(args) -> int:
+    from repro.engine.wal import recover_database
+
+    try:
+        schema = load_schema(args.schema) if args.schema else None
+        result = recover_database(args.wal, schema=schema)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    database = result.database
+    tables = {
+        table.name: database.table(table.name).value_tuples()
+        for table in database.schema
+    }
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {"report": result.report.to_dict(), "tables": tables},
+                indent=2,
+            )
+        )
+        return 0
+
+    report = result.report
+    print(f"recovered {args.wal}: {report.frames_read} frames")
+    print(
+        f"transactions: {report.transactions_committed} committed, "
+        f"{report.transactions_aborted} aborted"
+        + (", 1 in-flight discarded" if report.open_transaction_discarded else "")
+    )
+    if report.torn_tail:
+        print(f"torn tail truncated ({report.tail_reason})")
+    print(
+        f"replayed {report.primitives_replayed} primitives "
+        f"(+{report.checkpoint_rows} checkpoint rows) "
+        f"in {report.replay_seconds:.4f}s"
+    )
+    print("recovered state:")
+    for name, rows in tables.items():
+        print(f"  {name}: {rows}")
+    return 0
+
+
 def repro_main(argv: list[str] | None = None) -> int:
     args = build_repro_parser().parse_args(argv)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "recover":
+        return _run_recover(args)
     return main(args.args)
 
 

@@ -13,6 +13,14 @@ from repro.engine.storage import Row, TableData
 from repro.engine.query import QueryResult, execute_select
 from repro.engine.dml import execute_statement
 from repro.engine.expressions import Evaluator, RowContext
+from repro.engine.wal import (
+    RecoveryReport,
+    RecoveryResult,
+    WalError,
+    WalWriteError,
+    WalWriter,
+    recover_database,
+)
 
 __all__ = [
     "Database",
@@ -23,4 +31,10 @@ __all__ = [
     "execute_statement",
     "Evaluator",
     "RowContext",
+    "RecoveryReport",
+    "RecoveryResult",
+    "WalError",
+    "WalWriteError",
+    "WalWriter",
+    "recover_database",
 ]

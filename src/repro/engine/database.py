@@ -84,6 +84,32 @@ class Database:
         return [self.insert_row(table, tuple(row)) for row in rows]
 
     # ------------------------------------------------------------------
+    # Durability (write-ahead log replay; see repro.engine.wal)
+    # ------------------------------------------------------------------
+
+    def apply_net_effect(self, net) -> None:
+        """Apply a composed :class:`~repro.transitions.net_effect.NetEffect`.
+
+        WAL recovery folds each committed transaction's primitives and
+        applies the composite here — equivalent to replaying them one
+        by one, by net-effect associativity.
+        """
+        for name in net.tables:
+            self.table(name).apply_effect(net.table(name))
+
+    @classmethod
+    def recover(cls, path: str, schema=None) -> "Database":
+        """The database as of the last committed transaction in the WAL
+        at *path*. Torn tails are truncated; uncommitted and aborted
+        transactions are discarded. Pass *schema* to rebuild onto an
+        existing catalog object (required before reattaching rule sets
+        parsed against it). For the detailed report use
+        :func:`repro.engine.wal.recover_database`."""
+        from repro.engine.wal import recover_database
+
+        return recover_database(path, schema=schema).database
+
+    # ------------------------------------------------------------------
     # Snapshots and canonical form
     # ------------------------------------------------------------------
 

@@ -185,6 +185,35 @@ class TableData:
             STATS.index_builds += 1
         return index
 
+    def items(self) -> list[tuple[int, tuple]]:
+        """All (tid, values) pairs in tid order.
+
+        The WAL checkpoint frame serializes exactly this — tids
+        included, so a recovered table is identical at tuple-identity
+        granularity, not just canonically.
+        """
+        rows = self._rows
+        return [(tid, rows[tid]) for tid in sorted(rows)]
+
+    def apply_effect(self, effect) -> None:
+        """Apply a :class:`~repro.transitions.net_effect.TableNetEffect`.
+
+        The three maps of a net effect are disjoint over tids (deletes
+        and updates reference pre-transition tids, inserts allocate new
+        ones), so the application order — deletes, updates, inserts —
+        is the unique sequential order consistent with any primitive
+        sequence that folds to *effect*. WAL recovery replays each
+        committed transaction this way: the log records raw
+        :class:`~repro.transitions.delta.Primitive` frames, and replay
+        is ``NetEffect.fold`` over them followed by this application.
+        """
+        for tid in effect.deleted:
+            self.delete(tid)
+        for tid, (__, new) in effect.updated.items():
+            self.update(tid, new)
+        for tid, values in effect.inserted.items():
+            self.insert(tid, values)
+
     def canonical(self) -> tuple:
         """The table's contents as a sorted bag of value tuples.
 

@@ -1,0 +1,556 @@
+"""Durable write-ahead logging and crash recovery.
+
+The runtime's execution model (Section 4 of the paper) assumes rule
+processing runs inside a database transaction whose effects commit
+atomically or roll back. This module supplies the durability half of
+that assumption: every tuple-level :class:`~repro.transitions.delta.Primitive`
+the processor appends to its delta log is also framed into an
+append-only on-disk log, bracketed by per-transaction begin / commit /
+abort markers, and :func:`recover_database` replays the *committed
+prefix* of any such log — including one cut short by a crash — onto a
+fresh :class:`~repro.engine.database.Database`.
+
+File layout::
+
+    MAGIC (8 bytes)
+    frame*            frame = <u32 payload length> <u32 CRC-32> <payload>
+
+Payloads are compact JSON records (SQL values are int / float / str /
+bool / NULL, all JSON-exact). Frame kinds:
+
+``H``  header — format version plus the schema spec, making the file
+       self-describing (``Database.recover(path)`` needs no catalog);
+``K``  checkpoint — full ``(tid, values)`` extension of every table and
+       the tid counter, written once at open when the database is not
+       empty (a session may start from a pre-loaded state);
+``B``  transaction begin;
+``P``  one primitive (insert / delete / update with old and new values);
+``C``  transaction commit;
+``A``  transaction abort.
+
+Commit protocol. The writer buffers encoded frames and writes them out
+in batches; ``commit`` forces the buffer to the OS *and* fsyncs, so a
+transaction is durable exactly when its ``C`` frame is. Nothing else
+needs to fsync: losing buffered-but-unsynced frames only ever truncates
+an uncommitted suffix, which recovery discards anyway.
+
+Recovery. :func:`scan_frames` walks frames until the first torn or
+CRC-corrupt one — a partial header, short payload, checksum mismatch,
+or undecodable record ends the scan *without error* (that is exactly
+what a crash mid-write leaves behind; the valid prefix is the log).
+:func:`recover_database` then folds each committed transaction's
+primitives through :meth:`~repro.transitions.net_effect.NetEffect.fold`
+and applies the resulting per-table net effects — replay *is* the
+net-effect fold, which is why recovering a prefix lands on a state the
+execution graph could have produced (the fold is equivalent to the
+sequential primitive application the live run performed).
+
+Fault injection. The writer accepts an optional ``fault_plan`` — duck
+typed, see :class:`repro.validate.faults.FaultPlan` — consulted before
+each frame lands in the buffer and before each physical write / sync.
+Injected ``OSError``s are retried with exponential backoff
+(``max_retries`` / ``backoff_base``); a simulated crash aborts the
+process's view of the writer, leaving the file exactly as a real crash
+would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.schema.catalog import Schema, schema_from_spec
+from repro.transitions.delta import Primitive
+from repro.transitions.net_effect import NetEffect
+
+MAGIC = b"RPROWAL1"
+WAL_VERSION = 1
+_FRAME_HEADER = struct.Struct("<II")
+
+
+class WalError(ReproError):
+    """Structural problem in a WAL file (not a torn tail)."""
+
+
+class WalWriteError(WalError):
+    """A WAL write failed even after exhausting its retries."""
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One CRC-checked frame: ``<len><crc32><json payload>``."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def _decode_payload(body: bytes) -> dict | None:
+    """The payload dict, or None when it does not decode to a record."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _tuple_or_none(values) -> tuple | None:
+    return None if values is None else tuple(values)
+
+
+def primitive_payload(txn_id: int, primitive: Primitive) -> dict:
+    return {
+        "t": "P",
+        "x": txn_id,
+        "k": primitive.kind,
+        "tb": primitive.table,
+        "id": primitive.tid,
+        "o": list(primitive.old) if primitive.old is not None else None,
+        "n": list(primitive.new) if primitive.new is not None else None,
+    }
+
+
+def payload_primitive(payload: dict) -> Primitive:
+    """Rebuild (and validate) a primitive from its ``P`` frame payload."""
+    return Primitive.checked(
+        0,
+        payload["k"],
+        payload["tb"],
+        payload["id"],
+        _tuple_or_none(payload["o"]),
+        _tuple_or_none(payload["n"]),
+    )
+
+
+@dataclass(frozen=True)
+class WalFrame:
+    """One decoded frame plus its position in the file."""
+
+    index: int
+    offset: int  #: byte offset of the frame header in the file
+    end: int  #: byte offset just past the frame (a valid crash point)
+    payload: dict
+
+    @property
+    def kind(self) -> str:
+        return self.payload.get("t", "?")
+
+
+@dataclass
+class WalScan:
+    """The valid frame prefix of a WAL file."""
+
+    frames: list[WalFrame] = field(default_factory=list)
+    #: bytes of valid prefix (MAGIC + whole frames)
+    valid_bytes: int = len(MAGIC)
+    #: True when trailing bytes past the valid prefix were ignored
+    torn_tail: bool = False
+    #: why the scan stopped early ("" when the file ended cleanly)
+    tail_reason: str = ""
+
+    def boundaries(self) -> list[int]:
+        """Byte offsets of every frame boundary (crash-point grid)."""
+        return [frame.end for frame in self.frames]
+
+
+def scan_frames(path: str) -> WalScan:
+    """Read the valid frame prefix of the WAL at *path*.
+
+    A missing or wrong magic is a :class:`WalError` (the file is not a
+    WAL at all); anything wrong *after* the magic — torn header, short
+    payload, CRC mismatch, undecodable record — ends the scan at the
+    last whole frame, which is the crash-recovery contract.
+    """
+    scan = WalScan()
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise WalError(f"{path}: not a WAL file (bad magic)")
+        offset = len(MAGIC)
+        index = 0
+        while True:
+            header = handle.read(_FRAME_HEADER.size)
+            if not header:
+                break
+            if len(header) < _FRAME_HEADER.size:
+                scan.torn_tail = True
+                scan.tail_reason = "torn frame header"
+                break
+            length, crc = _FRAME_HEADER.unpack(header)
+            body = handle.read(length)
+            if len(body) < length:
+                scan.torn_tail = True
+                scan.tail_reason = "torn frame payload"
+                break
+            if zlib.crc32(body) != crc:
+                scan.torn_tail = True
+                scan.tail_reason = "CRC mismatch"
+                break
+            payload = _decode_payload(body)
+            if payload is None:
+                scan.torn_tail = True
+                scan.tail_reason = "undecodable payload"
+                break
+            end = offset + _FRAME_HEADER.size + length
+            scan.frames.append(WalFrame(index, offset, end, payload))
+            scan.valid_bytes = end
+            offset = end
+            index += 1
+    return scan
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WalWriterStats:
+    """Observable work counters (the ``--stats`` / bench surface)."""
+
+    frames_emitted: int = 0
+    primitives_logged: int = 0
+    bytes_written: int = 0
+    flushes: int = 0
+    syncs: int = 0
+    retries: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "frames_emitted": self.frames_emitted,
+            "primitives_logged": self.primitives_logged,
+            "bytes_written": self.bytes_written,
+            "flushes": self.flushes,
+            "syncs": self.syncs,
+            "retries": self.retries,
+        }
+
+
+class WalWriter:
+    """Appends frames to a fresh WAL file with batched fsyncs.
+
+    ``sync`` is ``"commit"`` (fsync only at commit markers — the
+    default, and the weakest setting that keeps the commit protocol
+    sound), ``"always"`` (fsync every flush), or ``"never"`` (flushes
+    reach the OS but durability is left to the kernel — benchmarking
+    only). ``batch_frames`` bounds how many frames buffer in-process
+    before a physical write.
+
+    Transient ``OSError`` from the underlying file (real, or injected
+    by a fault plan) is retried up to ``max_retries`` times with
+    exponential backoff starting at ``backoff_base`` seconds; a
+    persistent failure raises :class:`WalWriteError`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        schema: Schema,
+        sync: str = "commit",
+        batch_frames: int = 64,
+        max_retries: int = 4,
+        backoff_base: float = 0.001,
+        sleep=time.sleep,
+        fault_plan=None,
+    ) -> None:
+        if sync not in ("commit", "always", "never"):
+            raise ValueError(f"bad sync policy {sync!r}")
+        self.path = path
+        self.sync = sync
+        self.batch_frames = batch_frames
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.stats = WalWriterStats()
+        self._sleep = sleep
+        self._fault_plan = fault_plan
+        self._buffer = bytearray()
+        self._buffered_frames = 0
+        self._closed = False
+        self._file = open(path, "wb")
+        self._file.write(MAGIC)
+        self._emit({"t": "H", "v": WAL_VERSION, "schema": schema.to_spec()})
+        # The header reaches the OS immediately: every later crash point
+        # leaves a file recovery can at least open.
+        self.flush()
+
+    # -- frame emission ------------------------------------------------
+
+    def _emit(self, payload: dict) -> None:
+        if self._closed:
+            raise WalError("WAL writer is closed")
+        frame = encode_frame(payload)
+        if self._fault_plan is not None:
+            # The plan may flush-and-crash here, possibly leaving a torn
+            # prefix of this frame on disk (see FaultPlan.before_frame).
+            self._fault_plan.before_frame(self, self.stats.frames_emitted, frame)
+        self._buffer += frame
+        self._buffered_frames += 1
+        self.stats.frames_emitted += 1
+        if self._buffered_frames >= self.batch_frames:
+            self.flush()
+            if self.sync == "always":
+                self._sync()
+
+    def checkpoint(self, database: Database) -> None:
+        """Write a full-state checkpoint frame (open-time base state)."""
+        self._emit(
+            {
+                "t": "K",
+                "next_tid": database._next_tid,
+                "tables": {
+                    table.name: [
+                        [tid, list(values)]
+                        for tid, values in database.table(table.name).items()
+                    ]
+                    for table in database.schema
+                },
+            }
+        )
+
+    def begin(self, txn_id: int) -> None:
+        self._emit({"t": "B", "x": txn_id})
+
+    def primitive(self, txn_id: int, primitive: Primitive) -> None:
+        self.stats.primitives_logged += 1
+        self._emit(primitive_payload(txn_id, primitive))
+
+    def commit(self, txn_id: int) -> int:
+        """Write the commit marker and make the transaction durable.
+
+        Returns the total frame count including the commit frame — the
+        crash-matrix harness keys its committed-prefix expectations on
+        this.
+        """
+        self._emit({"t": "C", "x": txn_id})
+        self.flush()
+        if self.sync != "never":
+            self._sync()
+        return self.stats.frames_emitted
+
+    def abort(self, txn_id: int) -> None:
+        """Write the abort marker. Aborts need no fsync: an abort that
+        never reaches disk is recovered identically (the transaction
+        has no commit frame either way)."""
+        self._emit({"t": "A", "x": txn_id})
+        self.flush()
+
+    # -- physical I/O with retry/backoff -------------------------------
+
+    def _with_retries(self, operation, what: str):
+        delay = self.backoff_base
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except OSError as error:
+                if attempt >= self.max_retries:
+                    raise WalWriteError(
+                        f"WAL {what} failed after {attempt + 1} attempts: "
+                        f"{error}"
+                    ) from error
+                attempt += 1
+                self.stats.retries += 1
+                self._sleep(delay)
+                delay *= 2
+
+    def flush(self) -> None:
+        """Write buffered frames to the OS (no fsync)."""
+        if not self._buffer:
+            return
+        data = bytes(self._buffer)
+
+        def write() -> None:
+            if self._fault_plan is not None:
+                self._fault_plan.before_io("write")
+            self._file.write(data)
+            self._file.flush()
+
+        self._with_retries(write, "write")
+        self.stats.bytes_written += len(data)
+        self.stats.flushes += 1
+        self._buffer.clear()
+        self._buffered_frames = 0
+
+    def _sync(self) -> None:
+        def sync() -> None:
+            if self._fault_plan is not None:
+                self._fault_plan.before_io("fsync")
+            os.fsync(self._file.fileno())
+
+        self._with_retries(sync, "fsync")
+        self.stats.syncs += 1
+
+    # -- crash simulation / shutdown -----------------------------------
+
+    def simulate_crash(self, torn_bytes: bytes = b"") -> None:
+        """Make the file look crash-interrupted and disable the writer.
+
+        Buffered (unflushed) frames are *dropped* — a real crash loses
+        them the same way — and *torn_bytes*, if given, land on disk as
+        a partial final frame. Used by the fault-injection harness; the
+        live writer raises SimulatedCrash right after.
+        """
+        self._buffer.clear()
+        self._buffered_frames = 0
+        if torn_bytes:
+            self._file.write(torn_bytes)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        self._file.close()
+        self._closed = True
+
+    def close(self) -> None:
+        """Flush and close. Does NOT commit: an open transaction's
+        frames may reach the file but recovery discards them."""
+        if self._closed:
+            return
+        self.flush()
+        if self.sync != "never":
+            self._sync()
+        self._file.close()
+        self._closed = True
+
+
+# ----------------------------------------------------------------------
+# Recovery
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and did."""
+
+    frames_read: int = 0
+    transactions_committed: int = 0
+    transactions_aborted: int = 0
+    #: a begin without commit/abort was cut off by the crash
+    open_transaction_discarded: bool = False
+    #: trailing torn/corrupt bytes were truncated (not fatal)
+    torn_tail: bool = False
+    tail_reason: str = ""
+    checkpoint_rows: int = 0
+    primitives_replayed: int = 0
+    replay_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "frames_read": self.frames_read,
+            "transactions_committed": self.transactions_committed,
+            "transactions_aborted": self.transactions_aborted,
+            "open_transaction_discarded": self.open_transaction_discarded,
+            "torn_tail": self.torn_tail,
+            "tail_reason": self.tail_reason,
+            "checkpoint_rows": self.checkpoint_rows,
+            "primitives_replayed": self.primitives_replayed,
+            "replay_seconds": round(self.replay_seconds, 6),
+        }
+
+
+@dataclass
+class RecoveryResult:
+    database: Database
+    report: RecoveryReport
+
+
+def _apply_checkpoint(
+    database: Database, payload: dict, report: RecoveryReport
+) -> None:
+    for name, rows in payload["tables"].items():
+        table = database.table(name)
+        for tid, values in rows:
+            table.insert(tid, tuple(values))
+            report.checkpoint_rows += 1
+    database._next_tid = payload["next_tid"]
+
+
+def _replay_transaction(
+    database: Database, primitives: list[Primitive], report: RecoveryReport
+) -> None:
+    """Apply one committed transaction: fold, then per-table net effects.
+
+    Folding first and applying the composite is equivalent to replaying
+    the primitives one by one (net-effect composition, [WF90]); it also
+    re-checks the same tid invariants the live run maintained.
+    """
+    database.apply_net_effect(NetEffect.from_primitives(primitives))
+    report.primitives_replayed += len(primitives)
+    highest = max((primitive.tid for primitive in primitives), default=0)
+    if highest >= database._next_tid:
+        database._next_tid = highest + 1
+
+
+def recover_database(path: str, schema: Schema | None = None) -> RecoveryResult:
+    """Replay the committed prefix of the WAL at *path*.
+
+    Returns the recovered database plus a report. Torn or CRC-corrupt
+    tails are truncated, an in-flight (uncommitted) final transaction
+    is discarded, and aborted transactions are skipped — the result is
+    exactly the state as of the last durable commit marker.
+
+    With *schema* the recovered database is built on that exact catalog
+    object (so it can be handed straight to a :class:`RuleProcessor`,
+    whose rule set holds the same object); the header's schema spec
+    must match it. Without it the log is self-describing and the schema
+    is rebuilt from the header.
+    """
+    started = time.perf_counter()
+    scan = scan_frames(path)
+    report = RecoveryReport(
+        frames_read=len(scan.frames),
+        torn_tail=scan.torn_tail,
+        tail_reason=scan.tail_reason,
+    )
+    if not scan.frames or scan.frames[0].kind != "H":
+        raise WalError(f"{path}: missing WAL header frame")
+    header = scan.frames[0].payload
+    if header.get("v") != WAL_VERSION:
+        raise WalError(
+            f"{path}: unsupported WAL version {header.get('v')!r}"
+        )
+    if schema is not None and schema.to_spec() != header["schema"]:
+        raise WalError(
+            f"{path}: WAL header schema does not match the given catalog"
+        )
+    database = Database(schema or schema_from_spec(header["schema"]))
+
+    open_txn: int | None = None
+    pending: list[Primitive] = []
+    for frame in scan.frames[1:]:
+        kind = frame.kind
+        payload = frame.payload
+        if kind == "K":
+            _apply_checkpoint(database, payload, report)
+        elif kind == "B":
+            # A begin implicitly abandons any unfinished transaction
+            # (the writer never interleaves transactions).
+            open_txn = payload["x"]
+            pending = []
+        elif kind == "P":
+            if open_txn is not None and payload["x"] == open_txn:
+                pending.append(payload_primitive(payload))
+        elif kind == "C":
+            if open_txn is not None and payload["x"] == open_txn:
+                _replay_transaction(database, pending, report)
+                report.transactions_committed += 1
+            open_txn = None
+            pending = []
+        elif kind == "A":
+            if open_txn is not None and payload["x"] == open_txn:
+                report.transactions_aborted += 1
+            open_txn = None
+            pending = []
+        else:
+            raise WalError(f"{path}: unknown frame kind {kind!r}")
+    if open_txn is not None:
+        report.open_transaction_discarded = True
+    report.replay_seconds = time.perf_counter() - started
+    return RecoveryResult(database=database, report=report)

@@ -171,6 +171,9 @@ class RuleProcessor:
         max_steps: int = 10_000,
         incremental: bool = True,
         planner: bool = True,
+        durable: bool = False,
+        wal_path: str | None = None,
+        wal=None,
     ) -> None:
         if ruleset.schema is not database.schema:
             raise RuleProcessingError(
@@ -197,14 +200,74 @@ class RuleProcessor:
         self._transaction_snapshot = database.snapshot()
         self._rolled_back = False
 
+        #: WAL writer when running durably, else None. Every primitive
+        #: the delta log records is framed into the WAL under the open
+        #: transaction id; begin/commit/abort markers bracket it.
+        self.wal = wal
+        self._txn_id = 1
+        if self.wal is None and (durable or wal_path is not None):
+            if wal_path is None:
+                raise RuleProcessingError(
+                    "durable mode needs wal_path (or a WalWriter via wal=)"
+                )
+            from repro.engine.wal import WalWriter
+
+            self.wal = WalWriter(wal_path, schema=database.schema)
+        if self.wal is not None:
+            if any(len(database.table(t.name)) for t in database.schema):
+                # The session may start from a pre-loaded database whose
+                # rows were never logged; checkpoint them so recovery
+                # replays onto the same base state.
+                self.wal.checkpoint(database)
+            self.wal.begin(self._txn_id)
+            self.log.set_sink(self._log_to_wal)
+
     # ------------------------------------------------------------------
     # Transaction control and user operations
     # ------------------------------------------------------------------
+
+    def _log_to_wal(self, primitive) -> None:
+        self.wal.primitive(self._txn_id, primitive)
 
     def begin_transaction(self) -> None:
         """Start a fresh transaction at the current database state."""
         self._transaction_snapshot = self.database.snapshot()
         self._rolled_back = False
+        if self.wal is not None:
+            self._txn_id += 1
+            self.wal.begin(self._txn_id)
+
+    def commit(self) -> int | None:
+        """Commit the current transaction durably.
+
+        Flushes and fsyncs the WAL through this transaction's commit
+        marker — the instant the marker is on disk, recovery lands on
+        this exact state. The next transaction begins immediately (so
+        every later primitive has an open transaction to belong to),
+        and the rollback restore point advances to the commit point.
+
+        Returns the WAL frame count as of the commit marker (None when
+        not durable) — the crash-simulation harness keys on it.
+        """
+        if self._rolled_back:
+            raise RuleProcessingError("transaction was rolled back")
+        frames = None
+        if self.wal is not None:
+            frames = self.wal.commit(self._txn_id)
+        self._transaction_snapshot = self.database.snapshot()
+        if self.wal is not None:
+            self._txn_id += 1
+            self.wal.begin(self._txn_id)
+        return frames
+
+    def close(self) -> None:
+        """Close the WAL (if any) without committing the open
+        transaction — its frames may reach disk but recovery discards
+        them, exactly like a crash at this point."""
+        if self.wal is not None:
+            self.log.set_sink(None)
+            self.wal.close()
+            self.wal = None
 
     def execute_user(self, statement: ast.Statement | str):
         """Execute a user-generated operation (no rule processing yet).
@@ -400,6 +463,19 @@ class RuleProcessor:
         self.database.restore(self._transaction_snapshot)
         self.observables.append(ObservableAction.rollback(rule_name, message))
         self._rolled_back = True
+        if self.wal is not None:
+            self.wal.abort(self._txn_id)
+        # Advance every marker past the aborted suffix and drop cached
+        # transitions: the undone primitives must not compose into any
+        # rule's next transition. run() used to do this at quiescence,
+        # which left step-by-step callers (the explorer, tests driving
+        # consider() directly) seeing phantom pending transitions after
+        # a rollback — and a begin_transaction() after such a rollback
+        # would re-trigger rules from operations that never happened.
+        position = self.log.position
+        for name in self.markers:
+            self.markers[name] = position
+        self._transitions.clear()
 
     @property
     def rolled_back(self) -> bool:
@@ -529,6 +605,10 @@ class RuleProcessor:
         clone._column_names = self._column_names
         clone._transaction_snapshot = self._transaction_snapshot
         clone._rolled_back = self._rolled_back
+        # Forks are exploratory: they never write to the durable log
+        # (DeltaLog.fork() likewise drops the WAL sink).
+        clone.wal = None
+        clone._txn_id = self._txn_id
         if self.incremental:
             clone.database = self.database.copy()
             clone.log = self.log.fork()

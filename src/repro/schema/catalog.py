@@ -152,6 +152,25 @@ class Schema:
             for column in table.column_names
         )
 
+    def to_spec(self) -> dict[str, list[str]]:
+        """The compact spec form, inverse of :func:`schema_from_spec`.
+
+        Used by the WAL header so a log file is self-describing:
+        ``Database.recover(path)`` rebuilds the schema from the header
+        without any out-of-band state.
+        """
+        return {
+            table.name: [
+                column.name
+                if column.type is ColumnType.INT
+                else f"{column.name}:{column.type.value}"
+                for column in (
+                    table.column(name) for name in table.column_names
+                )
+            ]
+            for table in self._tables.values()
+        }
+
     def __iter__(self):
         return iter(self._tables.values())
 

@@ -106,7 +106,7 @@ class DeltaLog:
     parent indexes the same primitives on every fork.
     """
 
-    __slots__ = ("_chunks", "_base", "_tail", "_last_write")
+    __slots__ = ("_chunks", "_base", "_tail", "_last_write", "_sink")
 
     def __init__(self) -> None:
         #: sealed, immutable chunks — structurally shared between forks
@@ -117,6 +117,15 @@ class DeltaLog:
         self._tail: list[Primitive] = []
         #: table -> position just past its most recent primitive
         self._last_write: dict[str, int] = {}
+        #: optional callable invoked with every appended primitive — the
+        #: durability hook (the rule processor points it at a WAL
+        #: writer). Never copied by :meth:`fork`: forks are exploratory
+        #: and must not write to the durable log.
+        self._sink = None
+
+    def set_sink(self, sink) -> None:
+        """Attach (or detach, with None) the per-primitive sink."""
+        self._sink = sink
 
     @property
     def position(self) -> int:
@@ -147,6 +156,8 @@ class DeltaLog:
         primitive = Primitive(position, kind, table, tid, old, new)
         self._tail.append(primitive)
         self._last_write[table] = position + 1
+        if self._sink is not None:
+            self._sink(primitive)
         return primitive
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ This package turns that into executable checks:
 from repro.validate.oracle import OracleVerdict, oracle_verdict
 from repro.validate.soundness import SoundnessReport, check_soundness
 from repro.validate.execution_model import check_execution_edges
+from repro.validate.faults import FaultPlan, SimulatedCrash
 
 __all__ = [
     "OracleVerdict",
@@ -23,4 +24,6 @@ __all__ = [
     "SoundnessReport",
     "check_soundness",
     "check_execution_edges",
+    "FaultPlan",
+    "SimulatedCrash",
 ]

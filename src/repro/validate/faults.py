@@ -1,0 +1,96 @@
+"""Deterministic fault injection for the durability subsystem.
+
+A :class:`FaultPlan` scripts exactly one process-failure story against a
+:class:`~repro.engine.wal.WalWriter` (which accepts it as
+``fault_plan=``), with every random choice drawn from an explicit
+seeded RNG so a failing CI run reproduces byte-for-byte:
+
+* **crash at a frame boundary** — ``crash_after_frames=N`` lets exactly
+  N frames reach the file, then raises :class:`SimulatedCrash` out of
+  whatever processor call was executing (everything buffered past the
+  boundary is dropped, as a real crash would drop it);
+* **torn final frame** — ``torn_bytes=k`` additionally writes the first
+  k bytes of frame N before crashing, leaving the partial frame a real
+  mid-write power cut leaves (recovery must truncate, not fail);
+* **transient I/O errors** — ``io_error_rate`` makes physical
+  writes/fsyncs raise ``OSError`` with that probability (bounded by
+  ``max_io_errors``); the WAL writer's retry/backoff must absorb them.
+  With ``max_io_errors=None`` and rate 1.0 the failure is permanent and
+  the writer must surface :class:`~repro.engine.wal.WalWriteError`.
+
+The plan is duck-typed on purpose: :mod:`repro.engine.wal` never
+imports this module (validate depends on engine, not the reverse).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class SimulatedCrash(Exception):
+    """The scripted process failure. Deliberately NOT a ReproError:
+    nothing in the stack should catch-and-handle a crash — it must
+    unwind out of the run exactly like a killed process."""
+
+
+@dataclass
+class FaultPlan:
+    """A scripted failure for one durable session. See module docstring."""
+
+    #: crash once this many frames have fully reached the file
+    crash_after_frames: int | None = None
+    #: with a crash: also write this many bytes of the next frame first
+    torn_bytes: int | None = None
+    #: probability that any single physical write/fsync raises OSError
+    io_error_rate: float = 0.0
+    #: stop injecting I/O errors after this many (None = never stop)
+    max_io_errors: int | None = 8
+    #: seed for the I/O-error schedule
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self.io_errors_injected = 0
+        self.crashed = False
+
+    # -- protocol consumed by WalWriter --------------------------------
+
+    def before_frame(self, writer, index: int, frame: bytes) -> None:
+        """Called before frame *index* (0-based) enters the buffer."""
+        if (
+            self.crash_after_frames is None
+            or index < self.crash_after_frames
+            or self.crashed
+        ):
+            return
+        # Flush first so the preceding frames form the durable prefix;
+        # simulate_crash then discards anything still buffered.
+        writer.flush()
+        torn = b""
+        if self.torn_bytes:
+            # Clamp to strictly less than the whole frame — writing all
+            # of it would be a complete frame, not a torn one.
+            torn = frame[: min(self.torn_bytes, len(frame) - 1)]
+        self.crashed = True
+        writer.simulate_crash(torn)
+        raise SimulatedCrash(
+            f"simulated crash at frame boundary {index}"
+            + (f" with {len(torn)}-byte torn tail" if torn else "")
+        )
+
+    def before_io(self, operation: str) -> None:
+        """Called before each physical write/fsync; may inject OSError."""
+        if not self.io_error_rate:
+            return
+        if (
+            self.max_io_errors is not None
+            and self.io_errors_injected >= self.max_io_errors
+        ):
+            return
+        if self._rng.random() < self.io_error_rate:
+            self.io_errors_injected += 1
+            raise OSError(
+                f"injected {operation} failure "
+                f"#{self.io_errors_injected}"
+            )

@@ -7,6 +7,56 @@ import pytest
 from repro.engine.database import Database
 from repro.rules.ruleset import RuleSet
 from repro.schema.catalog import Schema, schema_from_spec
+from tests import seeding
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--base-seed",
+        action="store",
+        default=None,
+        metavar="N",
+        help=(
+            "base seed for all randomized tests (equivalent to setting "
+            f"{seeding.ENV_VAR}); every failure report prints the "
+            "active value so it can be replayed"
+        ),
+    )
+
+
+def pytest_configure(config):
+    # Install the base seed before test modules import: derived seeds
+    # (including decorators evaluated at import time) must all see it.
+    value = config.getoption("--base-seed")
+    if value is not None:
+        seeding.set_base_seed(value)
+
+
+def pytest_report_header(config):
+    return (
+        f"randomized-test base seed: {seeding.BASE_SEED} "
+        f"(override with --base-seed or {seeding.ENV_VAR})"
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(
+            (
+                "randomized-test seeding",
+                f"base seed was {seeding.BASE_SEED}; reproduce with "
+                f"pytest --base-seed={seeding.BASE_SEED} {item.nodeid!r}",
+            )
+        )
+
+
+@pytest.fixture
+def base_seed() -> int:
+    """The suite-wide base seed (see ``tests/seeding.py``)."""
+    return seeding.BASE_SEED
 
 
 @pytest.fixture

@@ -18,6 +18,8 @@ import random
 
 import pytest
 
+from tests.seeding import derive_seed
+
 from repro.engine import plan
 from repro.engine.database import Database
 from repro.engine.query import (
@@ -102,7 +104,7 @@ def _assert_equivalent(provider, text):
 class TestRandomizedEquivalence:
     @pytest.mark.parametrize("seed", range(12))
     def test_single_table_filters(self, seed):
-        rng = random.Random(seed)
+        rng = random.Random(derive_seed("planner-filters", seed))
         database = _random_instance(rng, {"t": ["a", "b", "c"]})
         provider = DatabaseProvider(database)
         bindings = {"t": ["a", "b", "c"]}
@@ -112,7 +114,7 @@ class TestRandomizedEquivalence:
 
     @pytest.mark.parametrize("seed", range(12))
     def test_two_table_joins(self, seed):
-        rng = random.Random(seed)
+        rng = random.Random(derive_seed("planner-joins", seed))
         database = _random_instance(rng, {"r": ["a", "b"], "s": ["c", "d"]})
         provider = DatabaseProvider(database)
         bindings = {"r": ["a", "b"], "s": ["c", "d"]}
@@ -125,7 +127,7 @@ class TestRandomizedEquivalence:
 
     @pytest.mark.parametrize("seed", range(8))
     def test_three_table_joins_with_aliases(self, seed):
-        rng = random.Random(seed)
+        rng = random.Random(derive_seed("planner-aliases", seed))
         database = _random_instance(
             rng, {"r": ["a", "b"], "s": ["c", "d"], "t": ["e", "f"]},
             rows_per_table=8,
@@ -141,7 +143,7 @@ class TestRandomizedEquivalence:
 
     @pytest.mark.parametrize("seed", range(8))
     def test_aggregates_and_distinct(self, seed):
-        rng = random.Random(seed)
+        rng = random.Random(derive_seed("planner-aggregates", seed))
         database = _random_instance(rng, {"r": ["a", "b"], "s": ["c", "d"]})
         provider = DatabaseProvider(database)
         bindings = {"r": ["a", "b"], "s": ["c", "d"]}
@@ -160,7 +162,7 @@ class TestRandomizedEquivalence:
             )
 
     def test_correlated_subqueries(self):
-        rng = random.Random(7)
+        rng = random.Random(derive_seed("planner-subqueries"))
         database = _random_instance(rng, {"r": ["a", "b"], "s": ["c", "d"]})
         provider = DatabaseProvider(database)
         for text in (
@@ -201,7 +203,7 @@ class TestOverlayEquivalence:
 
     @pytest.mark.parametrize("seed", range(8))
     def test_overlay_joins_base_table(self, seed):
-        rng = random.Random(seed)
+        rng = random.Random(derive_seed("planner-overlay", seed))
         database = _random_instance(rng, {"t": ["a", "b"], "u": ["c", "d"]})
         inserted_rows = [
             (rng.randrange(6), rng.randrange(6)) for __ in range(4)
@@ -219,7 +221,7 @@ class TestOverlayEquivalence:
             )
 
     def test_overlay_shadows_base_table(self):
-        rng = random.Random(3)
+        rng = random.Random(derive_seed("planner-shadow"))
         database = _random_instance(rng, {"t": ["a", "b"]})
         provider = OverlayProvider(
             DatabaseProvider(database),
@@ -230,7 +232,7 @@ class TestOverlayEquivalence:
 
     def test_overlay_never_uses_persistent_index(self):
         """Probing an overlay must not consult the base table's index."""
-        rng = random.Random(5)
+        rng = random.Random(derive_seed("planner-index-isolation"))
         database = _random_instance(rng, {"t": ["a", "b"]})
         # Warm the base table's persistent index on column a.
         base = DatabaseProvider(database)

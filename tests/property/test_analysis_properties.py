@@ -1,7 +1,10 @@
 """Cross-cutting static-analysis properties over generated rule sets."""
 
 from hypothesis import HealthCheck, given, settings
+from hypothesis import seed as hypothesis_seed
 from hypothesis import strategies as st
+
+from tests.seeding import derive_seed
 
 from repro.analysis.analyzer import RuleAnalyzer
 from repro.analysis.commutativity import CommutativityAnalyzer
@@ -19,11 +22,14 @@ CONFIG = GeneratorConfig(n_tables=3, n_columns=2, n_rules=5, p_priority=0.3)
 
 
 def any_ruleset(seed: int) -> RuleSet:
-    if seed % 2:
+    layered = seed % 2
+    seed = derive_seed("ruleset", seed)
+    if layered:
         return LayeredRuleSetGenerator(CONFIG, seed=seed).generate()
     return RandomRuleSetGenerator(CONFIG, seed=seed).generate()
 
 
+@hypothesis_seed(derive_seed("analysis-properties", "test_derived_sets_stay_within_schema"))
 @given(seed=st.integers(0, 10_000))
 @settings(max_examples=40, deadline=None)
 def test_derived_sets_stay_within_schema(seed):
@@ -38,6 +44,7 @@ def test_derived_sets_stay_within_schema(seed):
         assert definitions.triggers(name) <= set(ruleset.names)
 
 
+@hypothesis_seed(derive_seed("analysis-properties", "test_triggers_is_exactly_event_intersection"))
 @given(seed=st.integers(0, 10_000))
 @settings(max_examples=40, deadline=None)
 def test_triggers_is_exactly_event_intersection(seed):
@@ -51,6 +58,7 @@ def test_triggers_is_exactly_event_intersection(seed):
             assert (target in definitions.triggers(source)) == expected
 
 
+@hypothesis_seed(derive_seed("analysis-properties", "test_commutativity_is_symmetric"))
 @given(seed=st.integers(0, 10_000))
 @settings(max_examples=30, deadline=None)
 def test_commutativity_is_symmetric(seed):
@@ -64,6 +72,7 @@ def test_commutativity_is_symmetric(seed):
             )
 
 
+@hypothesis_seed(derive_seed("analysis-properties", "test_certification_is_monotone_for_confluence"))
 @given(seed=st.integers(0, 10_000))
 @settings(
     max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -93,6 +102,7 @@ def test_certification_is_monotone_for_confluence(seed):
     assert remaining <= original
 
 
+@hypothesis_seed(derive_seed("analysis-properties", "test_interference_sets_contain_their_seeds"))
 @given(seed=st.integers(0, 10_000))
 @settings(max_examples=30, deadline=None)
 def test_interference_sets_contain_their_seeds(seed):
@@ -108,6 +118,7 @@ def test_interference_sets_contain_their_seeds(seed):
         assert first not in r2
 
 
+@hypothesis_seed(derive_seed("analysis-properties", "test_total_ordering_always_silences_confluence"))
 @given(seed=st.integers(0, 10_000))
 @settings(
     max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -133,6 +144,7 @@ def test_total_ordering_always_silences_confluence(seed):
     assert analysis.pairs_examined == 0
 
 
+@hypothesis_seed(derive_seed("analysis-properties", "test_generated_rulesets_round_trip_through_source"))
 @given(seed=st.integers(0, 10_000))
 @settings(max_examples=25, deadline=None)
 def test_generated_rulesets_round_trip_through_source(seed):

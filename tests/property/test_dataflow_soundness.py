@@ -14,7 +14,10 @@ Two properties over generated rule sets:
 """
 
 from hypothesis import HealthCheck, given, settings
+from hypothesis import seed as hypothesis_seed
 from hypothesis import strategies as st
+
+from tests.seeding import derive_seed
 
 from repro.analysis.commutativity import CommutativityAnalyzer
 from repro.analysis.derived import DerivedDefinitions
@@ -33,7 +36,9 @@ CONFIG = GeneratorConfig(
 
 
 def any_ruleset(seed: int) -> RuleSet:
-    if seed % 2:
+    layered = seed % 2
+    seed = derive_seed("ruleset", seed)
+    if layered:
         return LayeredRuleSetGenerator(CONFIG, seed=seed).generate()
     return RandomRuleSetGenerator(CONFIG, seed=seed).generate()
 
@@ -48,6 +53,7 @@ def tier_analyzers(definitions):
     )
 
 
+@hypothesis_seed(derive_seed("dataflow-soundness", "test_refinement_tiers_prune_strictly"))
 @given(seed=st.integers(0, 10_000))
 @settings(max_examples=40, deadline=None)
 def test_refinement_tiers_prune_strictly(seed):
@@ -68,6 +74,7 @@ def test_refinement_tiers_prune_strictly(seed):
                 assert dataflow.commute(first, second)
 
 
+@hypothesis_seed(derive_seed("dataflow-soundness", "test_refined_commutative_pairs_confirmed_by_oracle"))
 @given(seed=st.integers(0, 400))
 @settings(
     max_examples=12,

@@ -6,7 +6,10 @@ share state, and exploration must be deterministic.
 """
 
 from hypothesis import HealthCheck, given, settings
+from hypothesis import seed as hypothesis_seed
 from hypothesis import strategies as st
+
+from tests.seeding import derive_seed
 
 from repro.runtime.exec_graph import explore
 from repro.runtime.processor import RuleProcessor
@@ -29,6 +32,9 @@ CONFIG = GeneratorConfig(
 
 
 def build_instance(seed: int):
+    # Hypothesis draws *seed*; mixing in the suite base seed means a
+    # different --base-seed explores genuinely different workloads.
+    seed = derive_seed("runtime-properties", seed)
     ruleset = LayeredRuleSetGenerator(CONFIG, seed=seed).generate()
     generator = RandomInstanceGenerator(CONFIG)
     database = generator.generate_database(ruleset.schema, seed=seed)
@@ -36,6 +42,7 @@ def build_instance(seed: int):
     return ruleset, database, statements
 
 
+@hypothesis_seed(derive_seed("runtime-properties", "test_any_run_lands_in_an_oracle_final_state"))
 @given(seed=st.integers(0, 5_000), strategy_seed=st.integers(0, 100))
 @settings(
     max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -61,6 +68,7 @@ def test_any_run_lands_in_an_oracle_final_state(seed, strategy_seed):
     )
 
 
+@hypothesis_seed(derive_seed("runtime-properties", "test_exploration_is_deterministic"))
 @given(seed=st.integers(0, 5_000))
 @settings(
     max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -80,6 +88,7 @@ def test_exploration_is_deterministic(seed):
     assert first.graph.observable_streams == second.graph.observable_streams
 
 
+@hypothesis_seed(derive_seed("runtime-properties", "test_fork_isolation"))
 @given(seed=st.integers(0, 5_000))
 @settings(
     max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -100,6 +109,7 @@ def test_fork_isolation(seed):
     assert processor.eligible_rules() == eligible
 
 
+@hypothesis_seed(derive_seed("runtime-properties", "test_explorer_never_mutates_input"))
 @given(seed=st.integers(0, 5_000))
 @settings(
     max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -114,6 +124,7 @@ def test_explorer_never_mutates_input(seed):
     assert processor.state_key() == key_before
 
 
+@hypothesis_seed(derive_seed("runtime-properties", "test_refined_commutativity_diamonds_hold"))
 @given(seed=st.integers(0, 3_000))
 @settings(
     max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]

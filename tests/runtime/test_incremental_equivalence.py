@@ -29,6 +29,7 @@ from repro.workloads.generator import (
     RandomInstanceGenerator,
     RandomRuleSetGenerator,
 )
+from tests.seeding import derive_seed
 
 
 def drive(processor: RuleProcessor, statements, max_steps: int = 40) -> dict:
@@ -90,12 +91,13 @@ class TestRandomizedEquivalence:
             rows_per_table=4,
             statements_per_transition=3,
         )
-        ruleset = RandomRuleSetGenerator(config, seed=seed).generate()
+        site = derive_seed("incremental-sessions", seed)
+        ruleset = RandomRuleSetGenerator(config, seed=site).generate()
         instances = RandomInstanceGenerator(config)
-        database = instances.generate_database(ruleset.schema, seed=seed)
-        statements = instances.generate_transition(ruleset.schema, seed=seed)
+        database = instances.generate_database(ruleset.schema, seed=site)
+        statements = instances.generate_transition(ruleset.schema, seed=site)
 
-        scratch, incremental = both_ways(ruleset, database, statements, seed)
+        scratch, incremental = both_ways(ruleset, database, statements, site)
         assert scratch == incremental
 
     @pytest.mark.parametrize("seed", range(6))
@@ -103,18 +105,19 @@ class TestRandomizedEquivalence:
         """Quiescence advances every marker; the next assertion point's
         transitions must compose identically in both modes."""
         config = GeneratorConfig(n_tables=3, n_rules=5, rows_per_table=3)
-        ruleset = RandomRuleSetGenerator(config, seed=100 + seed).generate()
+        site = derive_seed("incremental-two-points", seed)
+        ruleset = RandomRuleSetGenerator(config, seed=100 + site).generate()
         instances = RandomInstanceGenerator(config)
-        database = instances.generate_database(ruleset.schema, seed=seed)
-        first = instances.generate_transition(ruleset.schema, seed=seed)
-        second = instances.generate_transition(ruleset.schema, seed=seed + 77)
+        database = instances.generate_database(ruleset.schema, seed=site)
+        first = instances.generate_transition(ruleset.schema, seed=site)
+        second = instances.generate_transition(ruleset.schema, seed=site + 77)
 
         results = []
         for incremental in (False, True):
             processor = RuleProcessor(
                 ruleset,
                 database.copy(),
-                strategy=RandomStrategy(seed),
+                strategy=RandomStrategy(site),
                 max_steps=40,
                 incremental=incremental,
             )

@@ -1,0 +1,178 @@
+"""Rollback edge cases in step-by-step and exploratory execution.
+
+``run()`` always swept markers forward at quiescence, so the original
+rollback path left step-by-step callers — the execution-graph explorer,
+or anything driving ``consider()`` directly — looking at phantom
+pending transitions built from primitives the rollback had just undone.
+These tests pin the fixed contract: the instant a rollback action
+fires, the database is back at the transaction snapshot, every rule's
+pending transition is empty, nothing is triggered, and a following
+``begin_transaction()`` starts genuinely clean.
+"""
+
+import pytest
+
+from repro.errors import RuleProcessingError
+from repro.runtime.exec_graph import explore
+from repro.runtime.processor import RuleProcessor
+from repro.runtime.strategies import ScriptedStrategy
+from repro.rules.ruleset import RuleSet
+from repro.engine.database import Database
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"], "log_t": ["id", "v"]})
+
+
+GUARD_RULES = """
+create rule guard on t when inserted
+if exists (select * from inserted where v < 0)
+then rollback 'negative v'
+
+create rule log_rule on t when inserted
+then insert into log_t (select id, v from inserted)
+"""
+
+
+def processor_for(source, schema, rows=(), strategy=None):
+    ruleset = RuleSet.parse(source, schema)
+    database = Database(schema)
+    if rows:
+        database.load("t", list(rows))
+    return RuleProcessor(
+        ruleset, database, strategy=strategy, max_steps=100
+    )
+
+
+class TestStepwiseRollback:
+    """Driving consider() directly, without run()'s quiescence sweep."""
+
+    def test_rollback_clears_triggering_and_pendings(self, schema):
+        processor = processor_for(GUARD_RULES, schema, rows=[(1, 10)])
+        processor.begin_transaction()
+        processor.execute_user("insert into t values (2, -5)")
+        assert set(processor.triggered_rules()) == {"guard", "log_rule"}
+
+        outcome = processor.consider("guard")
+        assert outcome.rolled_back
+
+        # The undone insert must not linger anywhere: no triggered
+        # rules, no pending net effect, database back at the snapshot.
+        assert processor.triggered_rules() == ()
+        assert processor.eligible_rules() == ()
+        for rule in ("guard", "log_rule"):
+            assert processor.pending_net_effect(rule).is_empty()
+        assert processor.database.table("t").value_tuples() == [(1, 10)]
+
+    def test_state_key_reflects_rollback_not_phantoms(self, schema):
+        processor = processor_for(GUARD_RULES, schema, rows=[(1, 10)])
+        processor.begin_transaction()
+        baseline_pendings = processor.state_key()[2]
+        processor.execute_user("insert into t values (2, -5)")
+        processor.consider("guard")
+        rolled_back, canonical, pendings = processor.state_key()
+        assert rolled_back is True
+        assert pendings == baseline_pendings  # all empty again
+
+    def test_begin_transaction_after_rollback_is_clean(self, schema):
+        processor = processor_for(GUARD_RULES, schema, rows=[(1, 10)])
+        processor.begin_transaction()
+        processor.execute_user("insert into t values (2, -5)")
+        processor.consider("guard")
+
+        processor.begin_transaction()
+        # Nothing from the aborted transaction may re-trigger here.
+        assert processor.triggered_rules() == ()
+        processor.execute_user("insert into t values (3, 7)")
+        result = processor.run()
+        assert result.outcome == "quiescent"
+        # log_rule logged only the new transaction's insert.
+        assert processor.database.table("log_t").value_tuples() == [(3, 7)]
+
+    def test_operations_still_rejected_until_new_transaction(self, schema):
+        processor = processor_for(GUARD_RULES, schema, rows=[(1, 10)])
+        processor.execute_user("insert into t values (2, -5)")
+        processor.consider("guard")
+        with pytest.raises(RuleProcessingError, match="rolled back"):
+            processor.execute_user("insert into t values (3, 1)")
+        with pytest.raises(RuleProcessingError, match="rolled back"):
+            processor.commit()
+
+
+class TestScriptedOrderRollback:
+    # With no priority between guard and log_rule, the order is the
+    # strategy's choice — rolling back after log_rule ran must also
+    # undo log_rule's own writes.
+    def test_rollback_after_other_rule_acted(self, schema):
+        processor = processor_for(
+            GUARD_RULES,
+            schema,
+            rows=[(1, 10)],
+            strategy=ScriptedStrategy(["log_rule", "guard"]),
+        )
+        processor.begin_transaction()
+        processor.execute_user("insert into t values (2, -5)")
+        result = processor.run()
+        assert result.outcome == "rolled_back"
+        assert result.rules_considered == ["log_rule", "guard"]
+        assert processor.database.table("t").value_tuples() == [(1, 10)]
+        assert len(processor.database.table("log_t")) == 0
+
+
+class TestExploreWithRollback:
+    REPAIR_RULES = """
+    create rule guard on t when inserted
+    if exists (select * from inserted where v < 0)
+    then rollback 'negative v'
+
+    create rule repair on t when inserted
+    then update t set v = 0 where v < 0
+    """
+
+    def test_branch_dependent_rollback_finals(self, schema):
+        """guard-first rolls back; repair-first neutralizes the bad row
+        (the composed inserted tuple has v = 0, so guard's condition is
+        false). Both finals must be exact: the rollback branch lands on
+        the pre-transaction state, with no phantom pendings left."""
+        processor = processor_for(self.REPAIR_RULES, schema, rows=[(1, 10)])
+        pre_transaction = processor.database.canonical()
+        processor.begin_transaction()
+        processor.execute_user("insert into t values (2, -5)")
+        graph = explore(processor)
+        assert not graph.truncated
+        finals = set(graph.final_databases.values())
+        rolled_back_finals = {
+            key for key in graph.final_states if key[0]
+        }
+        assert rolled_back_finals, "some order must roll back"
+        for key in rolled_back_finals:
+            assert graph.final_databases[key] == pre_transaction
+            # The fixed contract: a rolled-back final has no pending
+            # transition fragments left over from the undone work (a
+            # pending canonical is (table, inserts, deletes, updates)).
+            for __, pending in key[2]:
+                assert all(not part for part in pending[1:])
+        # And at least one order survives with the repaired row.
+        survived = finals - {pre_transaction}
+        assert len(survived) == 1
+
+    def test_explore_not_contaminated_by_prior_rollback(self, schema):
+        """A fork taken after an earlier transaction rolled back and a
+        new transaction began must explore only the new transition."""
+        processor = processor_for(GUARD_RULES, schema, rows=[(1, 10)])
+        processor.begin_transaction()
+        processor.execute_user("insert into t values (2, -5)")
+        processor.consider("guard")
+        processor.begin_transaction()
+        processor.execute_user("insert into t values (3, 7)")
+        graph = explore(processor)
+        finals = set(graph.final_databases.values())
+        assert len(finals) == 1
+        (final,) = finals
+        # Only the second transaction's row (and its log entry) exist.
+        assert final == (
+            ("log_t", ((3, 7),)),
+            ("t", ((1, 10), (3, 7))),
+        )

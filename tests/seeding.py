@@ -1,0 +1,53 @@
+"""One seed knob for every randomized test in the suite.
+
+Randomized tests — the planner/incremental equivalence sweeps, the
+hypothesis property suites, the crash-matrix recovery harness — all
+derive their per-site RNG seeds from a single base seed through
+:func:`derive_seed`. The base seed comes from (highest wins):
+
+1. ``pytest --base-seed=N`` (registered in ``tests/conftest.py``);
+2. the ``REPRO_TEST_SEED`` environment variable;
+3. the default ``0``.
+
+Every failure report carries the active base seed (a conftest hook
+appends it), so any randomized failure reproduces with
+``pytest --base-seed=<printed value> <nodeid>`` — no hunting through
+parametrize ids or hypothesis blobs for the randomness that mattered.
+
+``derive_seed`` mixes the base seed with a per-site label, so distinct
+call sites get independent streams, a given site is stable run-to-run,
+and changing the base seed re-randomizes the entire suite coherently.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+ENV_VAR = "REPRO_TEST_SEED"
+
+#: the suite-wide base seed (module global so conftest can set it once
+#: at configure time, before test modules import and derive from it)
+BASE_SEED = int(os.environ.get(ENV_VAR, "0"))
+
+
+def set_base_seed(value: int | str) -> None:
+    """Install *value* as the suite base seed (conftest configure hook).
+
+    Also exports it to the environment so subprocesses (and modules
+    that read the variable directly) agree with the in-process value.
+    """
+    global BASE_SEED
+    BASE_SEED = int(value)
+    os.environ[ENV_VAR] = str(BASE_SEED)
+
+
+def derive_seed(*labels) -> int:
+    """A per-site seed, deterministic in (base seed, labels).
+
+    *labels* name the call site plus any loop index — e.g.
+    ``derive_seed("planner-filters", i)`` — so two sites never share a
+    stream and a parametrized sweep gets one stream per case.
+    """
+    key = ":".join(str(label) for label in labels).encode()
+    return (BASE_SEED * 0x9E3779B1 + zlib.crc32(key)) % 2**32

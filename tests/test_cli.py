@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import load_schema, main
+from repro.cli import load_schema, main, repro_main
 
 SCHEMA = """
 # employee schema
@@ -306,3 +306,107 @@ class TestDotFlag:
         content = out_file.read_text()
         assert content.startswith("digraph triggering_graph {")
         assert "lightcoral" in content  # the loop is highlighted
+
+
+ROLLBACK_RULES = """
+create rule guard on t when inserted
+if exists (select * from inserted where v < 0)
+then rollback 'negative v'
+"""
+
+
+class TestDurableRun:
+    def run_durable(self, files, tmp_path, statement, rules=RUNNABLE_RULES):
+        wal = str(tmp_path / "run.wal")
+        code = main(
+            [
+                files("r.txt", rules),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--data",
+                files("d.txt", DATA),
+                "--run",
+                statement,
+                "--durable",
+                wal,
+            ]
+        )
+        return code, wal
+
+    def test_durable_run_prints_wal_summary(self, files, tmp_path, capsys):
+        code, wal = self.run_durable(
+            files, tmp_path, "insert into t values (1, 9)"
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== durability ==" in out
+        assert f"WAL {wal}: committed" in out
+
+    def test_recover_replays_durable_run(self, files, tmp_path, capsys):
+        __, wal = self.run_durable(
+            files, tmp_path, "insert into t values (1, 9)"
+        )
+        capsys.readouterr()
+        code = repro_main(["recover", wal])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 committed" in out
+        # The rule's effect survived: u row 1 bumped from 3 to 4.
+        assert "(1, 4)" in out
+
+    def test_recover_json_reports_and_tables(self, files, tmp_path, capsys):
+        import json
+
+        __, wal = self.run_durable(
+            files, tmp_path, "insert into t values (1, 9)"
+        )
+        capsys.readouterr()
+        code = repro_main(["recover", wal, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["report"]["transactions_committed"] == 1
+        assert [1, 9] in payload["tables"]["t"]
+        assert [1, 4] in payload["tables"]["u"]
+
+    def test_recover_with_matching_schema_file(self, files, tmp_path, capsys):
+        __, wal = self.run_durable(
+            files, tmp_path, "insert into t values (1, 9)"
+        )
+        capsys.readouterr()
+        code = repro_main(
+            ["recover", wal, "--schema", files("s.txt", SCHEMA)]
+        )
+        assert code == 0
+
+    def test_rolled_back_run_recovers_to_base_state(
+        self, files, tmp_path, capsys
+    ):
+        __, wal = self.run_durable(
+            files,
+            tmp_path,
+            "insert into t values (1, -5)",
+            rules=ROLLBACK_RULES,
+        )
+        out = capsys.readouterr().out
+        assert f"WAL {wal}: aborted" in out
+        code = repro_main(["recover", wal, "--json"])
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        # Only the --data base state survives; the insert was undone.
+        assert payload["tables"]["t"] == []
+        assert payload["tables"]["u"] == [[1, 3], [2, 0]]
+        assert payload["report"]["transactions_aborted"] == 1
+
+    def test_recover_garbage_file_exits_two(self, tmp_path, capsys):
+        bogus = tmp_path / "not.wal"
+        bogus.write_bytes(b"definitely not a wal")
+        code = repro_main(["recover", str(bogus)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_recover_missing_file_exits_two(self, tmp_path, capsys):
+        code = repro_main(["recover", str(tmp_path / "absent.wal")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
