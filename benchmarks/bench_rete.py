@@ -1,0 +1,298 @@
+"""Incremental-match (rete) regression gate.
+
+The discrimination network of :mod:`repro.engine.rete` exists to make
+rule-condition matching proportional to the *delta*, not to the tables:
+a planned-mode processor re-scans every condition source on every
+consideration, while the network folds only the log suffix into its
+memories and answers from the terminal. This gate pins both properties:
+
+* **equivalence** — byte-identical ``ProcessingResult``s, final
+  canonical databases and ``state_key()``s between ``matching="rete"``
+  and the planned executor (the oracle) on a ballast-heavy countdown
+  cascade, a join-condition cascade, the power-network case study, and
+  seeded random-order runs;
+* **matching work** — the planned path touches at least
+  ``--min-match-ratio`` (default 5) times as many rows per run as the
+  rete path (planned ``rows_scanned`` vs. rete ``rows_scanned +
+  rows_touched``, both measured as deltas of the global counters).
+
+Metrics land in ``BENCH_rete.json`` (``--out``) for CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.config import ExecutionConfig
+from repro.engine import plan
+from repro.engine import rete
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.runtime.processor import RuleProcessor
+from repro.runtime.strategies import RandomStrategy
+from repro.schema.catalog import schema_from_spec
+from repro.workloads.powernet import power_network_workload
+
+GATE_SCHEMA_VERSION = 1
+
+MODES = ("planned", "rete")
+
+
+def _config(matching: str) -> ExecutionConfig:
+    return ExecutionConfig(matching=matching)
+
+
+def _run_measured(ruleset, database, statements, matching: str, **kwargs):
+    """Run one session, returning (observables record, work counters).
+
+    Work is measured as deltas of the process-global planner/rete
+    counters, so the two modes can be compared within one process.
+    """
+    processor = RuleProcessor(
+        ruleset, database.copy(), config=_config(matching), **kwargs
+    )
+    scanned_before = plan.STATS.rows_scanned
+    touched_before = rete.STATS.rows_touched
+    started = time.perf_counter()
+    for statement in statements:
+        processor.execute_user(statement)
+    result = processor.run()
+    elapsed = time.perf_counter() - started
+    record = {
+        "result_repr": repr(
+            (result.outcome, result.steps, result.observables)
+        ),
+        "final_database": processor.database.canonical(),
+        "state_key": processor.state_key(),
+    }
+    work = {
+        "rows_scanned": plan.STATS.rows_scanned - scanned_before,
+        "rete_rows_touched": rete.STATS.rows_touched - touched_before,
+        "steps": len(result.steps),
+        "seconds": round(elapsed, 4),
+    }
+    return record, work
+
+
+def _gate_workload_cascade(ballast: int = 2000, countdown: int = 25):
+    """Countdown cascade over a ballast-heavy table.
+
+    One active counter row among *ballast* inert ones; each
+    consideration decrements it. Planned matching re-scans all
+    ``ballast + 1`` rows per consideration; the network scans them once
+    at build and then folds two primitives (retract + insert) per
+    update.
+    """
+    schema = schema_from_spec({"counter": ["id", "n"], "sink": ["id"]})
+    source = """
+    create rule step on counter when inserted, updated
+    if exists (select * from counter where n > 0)
+    then update counter set n = n - 1 where n > 0
+    """
+    ruleset = RuleSet.parse(source, schema)
+    database = Database(schema)
+    database.load(
+        "counter", [(100 + i, -999) for i in range(ballast)]
+    )
+    statements = [f"insert into counter values (1, {countdown})"]
+    return ruleset, database, statements
+
+
+def _gate_workload_join(n_rows: int = 1000, countdown: int = 20):
+    """Join-condition cascade: the condition hash-joins two 1k tables.
+
+    The driver countdown writes only ``tick``, so the network folds one
+    tick-alpha primitive per step while planned matching re-runs the
+    join (scanning both filter loops) every consideration.
+    """
+    schema = schema_from_spec(
+        {
+            "orders": ["id", "item"],
+            "stock": ["item", "qty"],
+            "tick": ["n"],
+        }
+    )
+    source = """
+    create rule tick on tick when inserted, updated
+    if exists (select * from tick where n > 0)
+       and exists (select * from orders o, stock s
+                   where o.item = s.item and s.qty > 0 and o.id >= 0)
+    then update tick set n = n - 1 where n > 0
+    """
+    ruleset = RuleSet.parse(source, schema)
+    database = Database(schema)
+    database.load("orders", [(i, i) for i in range(n_rows)])
+    database.load("stock", [(i, 1 + i % 3) for i in range(n_rows)])
+    statements = [f"insert into tick values ({countdown})"]
+    return ruleset, database, statements
+
+
+def _compare(records: dict, label: str) -> None:
+    planned, network = records["planned"], records["rete"]
+    assert planned["result_repr"] == network["result_repr"], (
+        f"{label}: ProcessingResults diverge between matching modes"
+    )
+    assert planned["final_database"] == network["final_database"], (
+        f"{label}: final databases diverge between matching modes"
+    )
+    assert planned["state_key"] == network["state_key"], (
+        f"{label}: state keys diverge between matching modes"
+    )
+
+
+def run_match_gate(workload: str = "cascade") -> dict:
+    """Run one gate workload in both modes; assert equivalence and
+    return the work ratio."""
+    build = {
+        "cascade": _gate_workload_cascade,
+        "join": _gate_workload_join,
+    }[workload]
+    ruleset, database, statements = build()
+
+    records, work = {}, {}
+    for matching in MODES:
+        records[matching], work[matching] = _run_measured(
+            ruleset, database, statements, matching, max_steps=5000
+        )
+    _compare(records, workload)
+
+    planned_rows = work["planned"]["rows_scanned"]
+    rete_rows = (
+        work["rete"]["rows_scanned"] + work["rete"]["rete_rows_touched"]
+    )
+    ratio = planned_rows / max(1, rete_rows)
+    return {
+        "workload": workload,
+        "steps": work["planned"]["steps"],
+        "planned_rows_scanned": planned_rows,
+        "rete_rows_scanned": work["rete"]["rows_scanned"],
+        "rete_rows_touched": work["rete"]["rete_rows_touched"],
+        "match_work_ratio": round(ratio, 2),
+        "planned_seconds": work["planned"]["seconds"],
+        "rete_seconds": work["rete"]["seconds"],
+        "equivalent": True,
+    }
+
+
+def run_powernet_gate() -> dict:
+    """The power-network case study agrees verdict-for-verdict."""
+    workload = power_network_workload()
+    records = {}
+    for matching in MODES:
+        records[matching], __ = _run_measured(
+            workload.ruleset,
+            workload.database,
+            workload.overload_transition(),
+            matching,
+            max_steps=500,
+        )
+    _compare(records, "powernet")
+    return {"equivalent": True}
+
+
+def run_sampled_equivalence_gate(runs: int = 8) -> dict:
+    """Random-order runs of the join workload agree mode-for-mode."""
+    ruleset, database, statements = _gate_workload_join(
+        n_rows=60, countdown=5
+    )
+    checked = 0
+    for seed in range(runs):
+        records = {}
+        for matching in MODES:
+            records[matching], __ = _run_measured(
+                ruleset,
+                database,
+                statements + [f"insert into orders values (9000, {seed})"],
+                matching,
+                strategy=RandomStrategy(seed),
+                max_steps=1000,
+            )
+        _compare(records, f"sampled seed {seed}")
+        checked += 1
+    return {"sampled_runs": checked, "equivalent": True}
+
+
+def run_gate(
+    min_match_ratio: float = 5.0, out_path: str | None = None
+) -> dict:
+    """The full matching gate; raises AssertionError on any regression."""
+    cascade = run_match_gate("cascade")
+    join = run_match_gate("join")
+    powernet = run_powernet_gate()
+    sampled = run_sampled_equivalence_gate()
+
+    payload = {
+        "schema_version": GATE_SCHEMA_VERSION,
+        "gate": {"min_match_ratio": min_match_ratio},
+        "cascade": cascade,
+        "join": join,
+        "powernet": powernet,
+        "sampled_equivalence": sampled,
+        "network": {
+            "fallbacks": rete.STATS.fallbacks,
+            "poisonings": rete.STATS.poisonings,
+        },
+    }
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+    for metrics in (cascade, join):
+        assert metrics["match_work_ratio"] >= min_match_ratio, (
+            f"{metrics['workload']}: match work ratio "
+            f"{metrics['match_work_ratio']} below gate minimum "
+            f"{min_match_ratio}"
+        )
+    assert rete.STATS.poisonings == 0, (
+        "the network poisoned itself during the gate workloads"
+    )
+    return payload
+
+
+def test_gate_cascade_equivalence_and_ratio():
+    metrics = run_match_gate("cascade")
+    assert metrics["equivalent"]
+    assert metrics["match_work_ratio"] >= 5.0
+
+
+def test_gate_join_equivalence_and_ratio():
+    metrics = run_match_gate("join")
+    assert metrics["equivalent"]
+    assert metrics["match_work_ratio"] >= 5.0
+
+
+def test_gate_powernet_equivalence():
+    assert run_powernet_gate()["equivalent"]
+
+
+def test_gate_sampled_equivalence():
+    assert run_sampled_equivalence_gate()["equivalent"]
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Incremental-match (rete) regression gate"
+    )
+    parser.add_argument("--gate", action="store_true", help="run the gate")
+    parser.add_argument(
+        "--out",
+        default="BENCH_rete.json",
+        help="where to write the metrics JSON (default: BENCH_rete.json)",
+    )
+    parser.add_argument("--min-match-ratio", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    payload = run_gate(
+        min_match_ratio=args.min_match_ratio, out_path=args.out
+    )
+    print(json.dumps(payload, indent=2))
+    print(f"\ngate passed; metrics written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ Quickstart::
     print(report.summary())
 """
 
+from repro.config import DEFAULT_CONFIG, ExecutionConfig
 from repro.schema.catalog import (
     ColumnDef,
     ColumnType,
@@ -59,6 +60,8 @@ from repro.validate.soundness import SoundnessReport, check_soundness
 __version__ = "1.0.0"
 
 __all__ = [
+    "DEFAULT_CONFIG",
+    "ExecutionConfig",
     "ColumnDef",
     "ColumnType",
     "Schema",

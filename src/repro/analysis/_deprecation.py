@@ -21,6 +21,27 @@ from __future__ import annotations
 import warnings
 
 
+def warn_legacy_kwargs(api: str, names: list[str] | tuple[str, ...]) -> None:
+    """Deprecation warning for pre-ExecutionConfig keyword arguments.
+
+    Since the unified session API (:class:`repro.config.ExecutionConfig`),
+    the supported way to select execution options — condition matching,
+    the planned executor, the incremental substrate, durability — is one
+    frozen config object passed as ``config=``. The scattered keywords
+    keep working one release; each call emits this warning once.
+    """
+    rendered = ", ".join(f"{name}=" for name in names)
+    warnings.warn(
+        f"passing {rendered} to {api} is deprecated; pass an "
+        "ExecutionConfig (repro.ExecutionConfig) via config= instead. "
+        "The legacy keywords map onto config fields (planner=False "
+        "selects matching='naive' plus the naive statement executor) "
+        "and will be removed in the release after next.",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
 def warn_direct_construction(class_name: str) -> None:
     """Emit the standard deprecation warning for *class_name*."""
     warnings.warn(

@@ -34,7 +34,9 @@ import sys
 import time
 
 from repro.analysis.analyzer import RuleAnalyzer
+from repro.config import ExecutionConfig
 from repro.engine import plan
+from repro.engine import rete
 from repro.engine.database import Database
 from repro.errors import ReproError
 from repro.lang.parser import Parser
@@ -43,6 +45,7 @@ from repro.runtime.exec_graph import explore
 from repro.runtime.processor import RuleProcessor
 from repro.runtime.trace import render_trace, trace_run
 from repro.schema.catalog import Schema, schema_from_spec
+from repro.stats import render_stats
 
 
 def load_schema(path: str) -> Schema:
@@ -178,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
         "the instance's observed behavior",
     )
     parser.add_argument(
+        "--matching",
+        choices=("rete", "planned", "naive"),
+        default="planned",
+        help="with --run: how rule conditions are matched at "
+        "consideration time — 'rete' (incremental discrimination "
+        "network, planned fallback for unsupported conditions), "
+        "'planned' (compiled predicates, the default), or 'naive' "
+        "(tree-walking reference evaluator and naive statement "
+        "execution)",
+    )
+    parser.add_argument(
         "--durable",
         metavar="FILE.wal",
         help="with --run: log the transaction to a write-ahead log at "
@@ -240,9 +254,6 @@ def main(argv: list[str] | None = None) -> int:
         if args.verbose:
             _print_details(report)
 
-    if args.stats and not args.json:
-        _print_stats(analyzer.engine.stats)
-
     if args.dot:
         from repro.analysis.graphviz import triggering_graph_dot
 
@@ -292,6 +303,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
 
+    # After --run, so execution-side counters (planner, rete) reflect
+    # the run they describe rather than the pre-run state.
+    if args.stats and not args.json:
+        _print_stats(analyzer.engine.stats)
+
     if args.profile and not args.json:
         _print_profile(profile)
 
@@ -301,6 +317,22 @@ def main(argv: list[str] | None = None) -> int:
         and report.observably_deterministic
     )
     return 0 if all_good else 1
+
+
+def _execution_config(args) -> tuple[ExecutionConfig, str | None]:
+    """The run's ExecutionConfig (and the WAL path, when durable)."""
+    durable = getattr(args, "durable", None)
+    matching = getattr(args, "matching", "planned")
+    return (
+        ExecutionConfig(
+            matching=matching,
+            planner=matching != "naive",
+            durable=durable is not None,
+            wal=durable,
+            profile=bool(getattr(args, "profile", False)),
+        ),
+        durable,
+    )
 
 
 def _run_json(
@@ -318,13 +350,8 @@ def _run_json(
         load_data(args.data, schema) if args.data else Database(schema)
     )
 
-    durable = getattr(args, "durable", None)
-    processor = RuleProcessor(
-        ruleset,
-        database.copy(),
-        durable=durable is not None,
-        wal_path=durable,
-    )
+    config, durable = _execution_config(args)
+    processor = RuleProcessor(ruleset, database.copy(), config=config)
     started = time.perf_counter()
     for statement in args.run:
         processor.execute_user(statement)
@@ -347,13 +374,19 @@ def _run_json(
                 for table in schema
             },
             "stats": processor.stats.to_dict(),
+            "planner_stats": plan.STATS.to_dict(),
+            "rete_stats": rete.STATS.to_dict(),
         }
     }
     if wal_section is not None:
         sections["execution"]["wal"] = wal_section
 
     if args.explore:
-        fresh = RuleProcessor(ruleset, database.copy())
+        fresh = RuleProcessor(
+            ruleset,
+            database.copy(),
+            config=config.with_options(durable=False, wal=None),
+        )
         for statement in args.run:
             fresh.execute_user(statement)
         started = time.perf_counter()
@@ -392,13 +425,8 @@ def _run_and_trace(
         load_data(args.data, schema) if args.data else Database(schema)
     )
 
-    durable = getattr(args, "durable", None)
-    processor = RuleProcessor(
-        ruleset,
-        database.copy(),
-        durable=durable is not None,
-        wal_path=durable,
-    )
+    config, durable = _execution_config(args)
+    processor = RuleProcessor(ruleset, database.copy(), config=config)
     started = time.perf_counter()
     for statement in args.run:
         processor.execute_user(statement)
@@ -427,7 +455,11 @@ def _run_and_trace(
         )
 
     if args.explore:
-        fresh = RuleProcessor(ruleset, database.copy())
+        fresh = RuleProcessor(
+            ruleset,
+            database.copy(),
+            config=config.with_options(durable=False, wal=None),
+        )
         for statement in args.run:
             fresh.execute_user(statement)
         started = time.perf_counter()
@@ -446,18 +478,23 @@ def _run_and_trace(
 
 
 def _print_stats(stats) -> None:
-    print("\n== analysis engine stats ==")
-    data = stats.to_dict()
-    timings = data.pop("timings")
-    for key in sorted(data):
-        print(f"  {key}: {data[key]}")
-    if timings:
-        print("  timings (s):")
-        for phase, seconds in timings.items():
-            print(f"    {phase}: {seconds}")
-    print("\n== query planner stats ==")
-    for key, value in plan.STATS.to_dict().items():
-        print(f"  {key}: {value}")
+    """Render every subsystem's counters through the one shared renderer.
+
+    Sections appear in pipeline order: analysis engine, query planner,
+    and — whenever a match network was compiled this process — the
+    incremental matcher.
+    """
+    engine = stats.to_dict()
+    timings = engine.pop("timings")
+    data = {key: engine[key] for key in sorted(engine)}
+    data["timings (s)"] = timings
+    sections = {
+        "analysis engine": data,
+        "query planner": plan.STATS.to_dict(),
+    }
+    if rete.STATS.networks_compiled:
+        sections["incremental match"] = rete.STATS.to_dict()
+    print(render_stats(sections))
 
 
 def _profile_section(profile: dict) -> dict:
@@ -465,6 +502,8 @@ def _profile_section(profile: dict) -> dict:
     accumulated planning time (every query planned by this process)."""
     section = {phase: round(seconds, 6) for phase, seconds in profile.items()}
     section["plan"] = round(plan.STATS.plan_seconds, 6)
+    if rete.STATS.networks_compiled:
+        section["rete_advance"] = round(rete.STATS.advance_seconds, 6)
     return section
 
 

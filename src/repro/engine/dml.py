@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.config import _UNSET, ExecutionConfig, resolve_config
 from repro.engine import plan as P
 from repro.engine.database import Database
 from repro.engine.expressions import Evaluator, RowContext
@@ -41,32 +42,38 @@ def execute_statement(
     stmt: ast.Statement,
     provider=None,
     log: DeltaLog | None = None,
-    planner: bool = True,
+    planner: object = _UNSET,
+    *,
+    config: ExecutionConfig | None = None,
 ) -> StatementResult:
     """Execute one statement; returns a :class:`StatementResult`.
 
     ``provider`` defaults to a plain :class:`DatabaseProvider` over
     *database*; pass an overlay provider to expose transition tables.
     A :class:`~repro.errors.RollbackSignal` propagates out of ROLLBACK.
-    ``planner=False`` forces the naive reference executor throughout.
+    Execution options arrive as an
+    :class:`~repro.config.ExecutionConfig`: ``config.planner=False``
+    forces the naive reference executor throughout. The legacy
+    ``planner=`` keyword still works behind a ``DeprecationWarning``.
     """
+    config = resolve_config(config, "execute_statement", planner=planner)
     if provider is None:
         provider = DatabaseProvider(database)
 
     if isinstance(stmt, ast.Select):
-        result = execute_select(provider, stmt, planner=planner)
+        result = execute_select(provider, stmt, config=config)
         return StatementResult(
             kind="select", affected=len(result.rows), query_result=result
         )
 
     if isinstance(stmt, ast.Insert):
-        return _execute_insert(database, stmt, provider, log, planner)
+        return _execute_insert(database, stmt, provider, log, config)
 
     if isinstance(stmt, ast.Delete):
-        return _execute_delete(database, stmt, provider, log, planner)
+        return _execute_delete(database, stmt, provider, log, config)
 
     if isinstance(stmt, ast.Update):
-        return _execute_update(database, stmt, provider, log, planner)
+        return _execute_update(database, stmt, provider, log, config)
 
     if isinstance(stmt, ast.Rollback):
         raise RollbackSignal(stmt.message)
@@ -79,13 +86,14 @@ def execute_script(
     statements: list[ast.Statement],
     provider=None,
     log: DeltaLog | None = None,
-    planner: bool = True,
+    planner: object = _UNSET,
+    *,
+    config: ExecutionConfig | None = None,
 ) -> list[StatementResult]:
     """Execute statements in order, stopping on rollback (which re-raises)."""
+    config = resolve_config(config, "execute_script", planner=planner)
     return [
-        execute_statement(
-            database, stmt, provider=provider, log=log, planner=planner
-        )
+        execute_statement(database, stmt, provider=provider, log=log, config=config)
         for stmt in statements
     ]
 
@@ -100,15 +108,15 @@ def _execute_insert(
     stmt: ast.Insert,
     provider,
     log: DeltaLog | None,
-    planner: bool = True,
+    config: ExecutionConfig,
 ) -> StatementResult:
     table = stmt.table.lower()
     arity = len(database.schema.table(table))
 
     if stmt.query is not None:
-        rows = list(execute_select(provider, stmt.query, planner=planner).rows)
+        rows = list(execute_select(provider, stmt.query, config=config).rows)
     else:
-        evaluator = Evaluator(provider, planner=planner)
+        evaluator = Evaluator(provider, config=config)
         empty = RowContext()
         rows = [
             tuple(evaluator.evaluate(value, empty) for value in row)
@@ -142,14 +150,14 @@ def _matching_tids(
     binding: str,
     where: ast.Expression | None,
     provider,
-    planner: bool = True,
+    config: ExecutionConfig,
 ) -> list[int]:
     """Tids of rows in *table* satisfying *where* (pre-statement state)."""
     if where is None:
         return [row.tid for row in database.rows(table)]
     columns = database.schema.table(table).column_names
-    evaluator = Evaluator(provider, planner=planner)
-    predicate = P.compile_predicate(where) if planner else None
+    evaluator = Evaluator(provider, config=config)
+    predicate = P.compile_predicate(where) if config.planner else None
     matched = []
     context = RowContext()
     for row in database.rows(table):
@@ -171,11 +179,11 @@ def _execute_delete(
     stmt: ast.Delete,
     provider,
     log: DeltaLog | None,
-    planner: bool = True,
+    config: ExecutionConfig,
 ) -> StatementResult:
     table = stmt.table.lower()
     binding = (stmt.alias or stmt.table).lower()
-    tids = _matching_tids(database, table, binding, stmt.where, provider, planner)
+    tids = _matching_tids(database, table, binding, stmt.where, provider, config)
     for tid in tids:
         old = database.delete_row(table, tid)
         if log is not None:
@@ -195,7 +203,7 @@ def _execute_update(
     stmt: ast.Update,
     provider,
     log: DeltaLog | None,
-    planner: bool = True,
+    config: ExecutionConfig,
 ) -> StatementResult:
     table = stmt.table.lower()
     binding = (stmt.alias or stmt.table).lower()
@@ -206,10 +214,11 @@ def _execute_update(
         for assignment in stmt.assignments
     ]
 
-    tids = _matching_tids(database, table, binding, stmt.where, provider, planner)
+    tids = _matching_tids(database, table, binding, stmt.where, provider, config)
 
     # Compute all new values against the pre-statement state first.
-    evaluator = Evaluator(provider, planner=planner)
+    planner = config.planner
+    evaluator = Evaluator(provider, config=config)
     if planner:
         compiled = [
             (index, P.compile_predicate(value_expr))

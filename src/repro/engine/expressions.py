@@ -9,6 +9,7 @@ expression ASTs, delegating subqueries back to
 
 from __future__ import annotations
 
+from repro.config import _UNSET, ExecutionConfig, resolve_config
 from repro.engine import values as V
 from repro.errors import EvaluationError, QueryError
 from repro.lang import ast
@@ -76,14 +77,23 @@ class Evaluator:
     """Evaluates expressions against a table provider and a row context.
 
     ``provider`` must implement ``resolve(name) -> (columns, rows)``; it
-    is only consulted when a subquery must be executed. ``planner``
-    selects the execution path for those subqueries, so a naive-path
-    query stays naive all the way down.
+    is only consulted when a subquery must be executed. The execution
+    options arrive as an :class:`~repro.config.ExecutionConfig` (the
+    ``config.planner`` field selects the execution path for subqueries,
+    so a naive-path query stays naive all the way down); the legacy
+    ``planner=`` keyword still works behind a ``DeprecationWarning``.
     """
 
-    def __init__(self, provider, planner: bool = True) -> None:
+    def __init__(
+        self,
+        provider,
+        planner: object = _UNSET,
+        *,
+        config: ExecutionConfig | None = None,
+    ) -> None:
         self._provider = provider
-        self._planner = planner
+        self._config = resolve_config(config, "Evaluator", planner=planner)
+        self._planner = self._config.planner
 
     def evaluate(self, expr: ast.Expression, context: RowContext):
         if isinstance(expr, ast.Literal):
@@ -233,5 +243,5 @@ class Evaluator:
         from repro.engine.query import execute_select
 
         return execute_select(
-            self._provider, select, outer_context=context, planner=self._planner
+            self._provider, select, outer_context=context, config=self._config
         ).rows

@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from repro.engine import values as V
 from repro.engine.expressions import Evaluator, RowContext
 from repro.lang import ast
+from repro.stats import StatsBase
 
 _SUBQUERY_NODES = (ast.InSubquery, ast.Exists, ast.ScalarSubquery)
 
@@ -64,7 +65,7 @@ _PREDICATE_CACHE_CAP = 8192
 _PLAN_CACHE_CAP = 2048
 
 
-class PlannerStats:
+class PlannerStats(StatsBase):
     """Global work counters for the planning/execution layer.
 
     One process-wide instance (:data:`STATS`) accumulates across every
@@ -72,7 +73,7 @@ class PlannerStats:
     ``bench_query_engine`` gate read (and reset) it.
     """
 
-    __slots__ = (
+    FIELDS = (
         "plans_built",
         "plan_cache_hits",
         "predicates_compiled",
@@ -84,35 +85,7 @@ class PlannerStats:
         "rows_scanned",
         "plan_seconds",
     )
-
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        self.plans_built = 0
-        self.plan_cache_hits = 0
-        self.predicates_compiled = 0
-        self.predicate_cache_hits = 0
-        self.index_builds = 0
-        self.index_probes = 0
-        self.transient_index_builds = 0
-        self.hash_join_probes = 0
-        self.rows_scanned = 0
-        self.plan_seconds = 0.0
-
-    def to_dict(self) -> dict:
-        return {
-            "plans_built": self.plans_built,
-            "plan_cache_hits": self.plan_cache_hits,
-            "predicates_compiled": self.predicates_compiled,
-            "predicate_cache_hits": self.predicate_cache_hits,
-            "index_builds": self.index_builds,
-            "index_probes": self.index_probes,
-            "transient_index_builds": self.transient_index_builds,
-            "hash_join_probes": self.hash_join_probes,
-            "rows_scanned": self.rows_scanned,
-            "plan_seconds": round(self.plan_seconds, 6),
-        }
+    SECONDS = frozenset({"plan_seconds"})
 
 
 STATS = PlannerStats()
@@ -380,6 +353,77 @@ class Plan:
     items: tuple | None = None
 
 
+@dataclass(frozen=True)
+class ConstProbe:
+    """A classified ``col = <row-independent expr>`` conjunct."""
+
+    conjunct: ast.Expression
+    column: int
+    value: ast.Expression
+
+
+@dataclass(frozen=True)
+class JoinConjunct:
+    """A classified equi-join conjunct probing one source.
+
+    ``probe_column`` indexes the deeper (probe-target) source's columns;
+    ``build`` is the shallower side's key expression.
+    """
+
+    conjunct: ast.Expression
+    probe_column: int
+    build: ast.Expression
+
+
+@dataclass(frozen=True)
+class Residual:
+    """A conjunct applied at its deepest binding level.
+
+    ``ambiguous`` marks conjuncts that defied static classification
+    (a subquery, an ambiguous unqualified column, a qualified reference
+    to a missing column) and were defaulted to the last source — the
+    rete compiler refuses those; the planned executor evaluates them at
+    full binding depth, reproducing the naive path's behavior.
+    """
+
+    conjunct: ast.Expression
+    ambiguous: bool = False
+
+
+@dataclass(frozen=True)
+class SourceConjuncts:
+    """The classified WHERE conjuncts charged to one FROM source."""
+
+    binding: str
+    filters: tuple[ast.Expression, ...] = ()
+    const_probes: tuple[ConstProbe, ...] = ()
+    joins: tuple[JoinConjunct, ...] = ()
+    residuals: tuple[Residual, ...] = ()
+
+
+@dataclass(frozen=True)
+class SelectClassification:
+    """A SELECT's WHERE clause, classified per source (AST level).
+
+    This is the shared front half of planning: both :func:`_build_plan`
+    (which compiles it into closures) and the rete network compiler
+    (:mod:`repro.engine.rete`, which lowers it into alpha/beta nodes)
+    consume it, so the two executors agree by construction on pushdown,
+    equi-join detection, and residual placement.
+    """
+
+    sources: tuple[SourceConjuncts, ...]
+    constant_gates: tuple[ast.Expression, ...] = ()
+
+    @property
+    def has_ambiguous(self) -> bool:
+        return any(
+            residual.ambiguous
+            for source in self.sources
+            for residual in source.residuals
+        )
+
+
 class _Ambiguous(Exception):
     """Internal marker: a conjunct cannot be classified statically."""
 
@@ -453,6 +497,80 @@ def _ref_binding(
 
 
 _PLAN_CACHE: dict = {}
+_CLASSIFY_CACHE: dict = {}
+
+
+def classify_select(
+    select: ast.Select,
+    source_columns: tuple[tuple[str, tuple[str, ...]], ...],
+) -> SelectClassification:
+    """The (cached) per-source conjunct classification for *select*.
+
+    Pure AST analysis — nothing is compiled. Keyed like the plan cache
+    (AST + column layouts + literal-type fingerprint).
+    """
+    key = (select, source_columns, select_fingerprint(select))
+    classified = _CLASSIFY_CACHE.get(key)
+    if classified is not None:
+        return classified
+
+    binding_columns = {binding: columns for binding, columns in source_columns}
+    order = {binding: i for i, (binding, __) in enumerate(source_columns)}
+    last = len(source_columns) - 1
+
+    filters: list[list] = [[] for __ in source_columns]
+    const_probes: list[list] = [[] for __ in source_columns]
+    joins: list[list] = [[] for __ in source_columns]
+    residuals: list[list] = [[] for __ in source_columns]
+    constant_gates: list = []
+
+    conjuncts = (
+        list(split_conjuncts(select.where)) if select.where is not None else []
+    )
+    for conjunct in conjuncts:
+        try:
+            deps = _conjunct_deps(conjunct, binding_columns)
+        except _Ambiguous:
+            residuals[last].append(Residual(conjunct, ambiguous=True))
+            continue
+
+        if not deps:
+            constant_gates.append(conjunct)
+            continue
+
+        if len(deps) == 1:
+            binding = next(iter(deps))
+            probe = _as_const_probe(conjunct, binding, binding_columns)
+            if probe is not None:
+                const_probes[order[binding]].append(probe)
+            else:
+                filters[order[binding]].append(conjunct)
+            continue
+
+        deepest = max(order[binding] for binding in deps)
+        join = _as_equi_join(conjunct, binding_columns, order, deepest)
+        if join is not None:
+            joins[deepest].append(join)
+        else:
+            residuals[deepest].append(Residual(conjunct))
+
+    classified = SelectClassification(
+        sources=tuple(
+            SourceConjuncts(
+                binding=binding,
+                filters=tuple(filters[i]),
+                const_probes=tuple(const_probes[i]),
+                joins=tuple(joins[i]),
+                residuals=tuple(residuals[i]),
+            )
+            for i, (binding, __) in enumerate(source_columns)
+        ),
+        constant_gates=tuple(constant_gates),
+    )
+    if len(_CLASSIFY_CACHE) >= _PLAN_CACHE_CAP:
+        _CLASSIFY_CACHE.clear()
+    _CLASSIFY_CACHE[key] = classified
+    return classified
 
 
 def plan_select(
@@ -485,61 +603,38 @@ def _build_plan(
     select: ast.Select,
     source_columns: tuple[tuple[str, tuple[str, ...]], ...],
 ) -> Plan:
-    binding_columns = {binding: columns for binding, columns in source_columns}
-    order = {binding: i for i, (binding, __) in enumerate(source_columns)}
-    last = len(source_columns) - 1
-
-    filters: list[list] = [[] for __ in source_columns]
-    const_probes: list[list] = [[] for __ in source_columns]
-    join_parts: list[list] = [[] for __ in source_columns]
-    residuals: list[list] = [[] for __ in source_columns]
-    constant_gates: list = []
-
-    conjuncts = (
-        list(split_conjuncts(select.where)) if select.where is not None else []
-    )
-    for conjunct in conjuncts:
-        try:
-            deps = _conjunct_deps(conjunct, binding_columns)
-        except _Ambiguous:
-            residuals[last].append(compile_predicate(conjunct))
-            continue
-
-        if not deps:
-            constant_gates.append(compile_predicate(conjunct))
-            continue
-
-        if len(deps) == 1:
-            binding = next(iter(deps))
-            probe = _as_const_probe(conjunct, binding, binding_columns)
-            if probe is not None:
-                const_probes[order[binding]].append(probe)
-            else:
-                filters[order[binding]].append(compile_predicate(conjunct))
-            continue
-
-        deepest = max(order[binding] for binding in deps)
-        join = _as_equi_join(conjunct, binding_columns, order, deepest)
-        if join is not None:
-            join_parts[deepest].append(join)
-        else:
-            residuals[deepest].append(compile_predicate(conjunct))
+    classified = classify_select(select, source_columns)
 
     sources = []
-    for i, (binding, __) in enumerate(source_columns):
-        parts = join_parts[i]
+    for source in classified.sources:
         sources.append(
             SourcePlan(
-                binding=binding,
-                filters=tuple(filters[i]),
-                const_probes=tuple(const_probes[i]),
-                join_cols=(
-                    tuple(col for col, __ in parts) if parts else None
+                binding=source.binding,
+                filters=tuple(
+                    compile_predicate(conjunct) for conjunct in source.filters
                 ),
-                join_values=tuple(value for __, value in parts),
-                residuals=tuple(residuals[i]),
+                const_probes=tuple(
+                    (probe.column, compile_predicate(probe.value))
+                    for probe in source.const_probes
+                ),
+                join_cols=(
+                    tuple(join.probe_column for join in source.joins)
+                    if source.joins
+                    else None
+                ),
+                join_values=tuple(
+                    compile_predicate(join.build) for join in source.joins
+                ),
+                residuals=tuple(
+                    compile_predicate(residual.conjunct)
+                    for residual in source.residuals
+                ),
             )
         )
+
+    constant_gates = tuple(
+        compile_predicate(gate) for gate in classified.constant_gates
+    )
 
     items = None
     if select.items and not select.group_by:
@@ -556,13 +651,13 @@ def _build_plan(
 
     return Plan(
         sources=tuple(sources),
-        constant_gates=tuple(constant_gates),
+        constant_gates=constant_gates,
         items=items,
     )
 
 
-def _as_const_probe(conjunct, binding, binding_columns):
-    """``col = <row-independent expr>`` → ``(column_index, closure)``."""
+def _as_const_probe(conjunct, binding, binding_columns) -> ConstProbe | None:
+    """``col = <row-independent expr>`` → a :class:`ConstProbe`."""
     if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
         return None
     for ref_side, value_side in (
@@ -578,16 +673,16 @@ def _as_const_probe(conjunct, binding, binding_columns):
             continue
         if value_deps:
             continue
-        return resolved[1], compile_predicate(value_side)
+        return ConstProbe(conjunct, resolved[1], value_side)
     return None
 
 
-def _as_equi_join(conjunct, binding_columns, order, deepest):
-    """``a.x = b.y`` → ``(probe_column_index, build_value_closure)``.
-
-    Returns the join part for the *deepest* binding (the probe target);
-    the closure computes the key from the shallower binding's row.
-    """
+def _as_equi_join(
+    conjunct, binding_columns, order, deepest
+) -> JoinConjunct | None:
+    """``a.x = b.y`` → a :class:`JoinConjunct` for the *deepest* binding
+    (the probe target); ``build`` is the shallower binding's key
+    expression."""
     if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
         return None
     left = _ref_binding(conjunct.left, binding_columns)
@@ -600,7 +695,7 @@ def _as_equi_join(conjunct, binding_columns, order, deepest):
         local, remote_expr = right, conjunct.left
     else:
         return None
-    return local[1], compile_predicate(remote_expr)
+    return JoinConjunct(conjunct, local[1], remote_expr)
 
 
 # ----------------------------------------------------------------------
@@ -772,3 +867,4 @@ def clear_caches() -> None:
     """Drop the plan and predicate memo tables (tests and benchmarks)."""
     _PLAN_CACHE.clear()
     _PREDICATE_CACHE.clear()
+    _CLASSIFY_CACHE.clear()

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.config import _UNSET, ExecutionConfig, resolve_config
 from repro.engine import plan as P
 from repro.engine import values as V
 from repro.engine.database import Database
@@ -133,16 +134,22 @@ def execute_select(
     provider,
     select: ast.Select,
     outer_context: RowContext | None = None,
-    planner: bool = True,
+    planner: object = _UNSET,
+    *,
+    config: ExecutionConfig | None = None,
 ) -> QueryResult:
     """Execute *select* against *provider* and return its result rows.
 
     ``outer_context`` carries the enclosing row bindings when this
-    select is a correlated subquery. ``planner=False`` forces the naive
-    cross-product reference path; both paths must return byte-identical
-    results.
+    select is a correlated subquery. Execution options arrive as an
+    :class:`~repro.config.ExecutionConfig`: ``config.planner=False``
+    forces the naive cross-product reference path (both paths must
+    return byte-identical results). The legacy ``planner=`` keyword
+    still works behind a ``DeprecationWarning``.
     """
-    evaluator = Evaluator(provider, planner=planner)
+    config = resolve_config(config, "execute_select", planner=planner)
+    planner = config.planner
+    evaluator = Evaluator(provider, config=config)
 
     sources = []
     seen_names: set[str] = set()

@@ -190,10 +190,10 @@ class TableData:
 
         The WAL checkpoint frame serializes exactly this — tids
         included, so a recovered table is identical at tuple-identity
-        granularity, not just canonically.
+        granularity, not just canonically. Reuses the :meth:`rows`
+        memo rather than re-sorting the tid map.
         """
-        rows = self._rows
-        return [(tid, rows[tid]) for tid in sorted(rows)]
+        return [(row.tid, row.values) for row in self.rows()]
 
     def apply_effect(self, effect) -> None:
         """Apply a :class:`~repro.transitions.net_effect.TableNetEffect`.

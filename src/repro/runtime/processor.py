@@ -37,11 +37,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.config import _UNSET, ExecutionConfig, resolve_config
 from repro.engine import plan as P
 from repro.engine.database import Database
 from repro.engine.dml import execute_statement
 from repro.engine.expressions import Evaluator, RowContext
 from repro.engine.query import DatabaseProvider, OverlayProvider
+from repro.engine.rete import ReteInstance, ReteNetwork
 from repro.engine.values import sql_is_truthy
 from repro.errors import (
     RollbackSignal,
@@ -53,6 +55,7 @@ from repro.lang.parser import parse_statement
 from repro.runtime.observer import ObservableAction
 from repro.runtime.strategies import FirstEligibleStrategy
 from repro.rules.ruleset import RuleSet
+from repro.stats import StatsBase
 from repro.transitions.delta import DeltaLog
 from repro.transitions.net_effect import NetEffect
 from repro.transitions.transition_tables import transition_table_overlays
@@ -81,40 +84,31 @@ class ProcessingResult:
         return [step.rule for step in self.steps]
 
 
-@dataclass
-class ProcessorStats:
+class ProcessorStats(StatsBase):
     """Work counters for the runtime substrate (benchmark gate input).
 
     ``primitives_folded`` counts incremental net-effect advances;
     ``primitives_scanned`` counts from-scratch suffix refolds (the
     non-incremental path). The substrate gate's triggering-work ratio
     is ``scanned(incremental=False) / folded(incremental=True)`` over
-    the same workload.
+    the same workload. ``touch_skips`` counts triggering checks
+    answered by the per-table touch index alone; ``verdict_hits``
+    counts checks answered by the cached verdict (no refold);
+    ``trigger_seconds`` is wall time spent in triggered_rules() scans
+    (the --profile surface).
     """
 
-    trigger_checks: int = 0
-    #: triggering checks answered by the per-table touch index alone
-    touch_skips: int = 0
-    #: triggering checks answered by the cached verdict (no refold)
-    verdict_hits: int = 0
-    primitives_folded: int = 0
-    primitives_scanned: int = 0
-    forks: int = 0
-    considerations: int = 0
-    #: wall time spent in triggered_rules() scans (the --profile surface)
-    trigger_seconds: float = 0.0
-
-    def to_dict(self) -> dict:
-        return {
-            "trigger_checks": self.trigger_checks,
-            "touch_skips": self.touch_skips,
-            "verdict_hits": self.verdict_hits,
-            "primitives_folded": self.primitives_folded,
-            "primitives_scanned": self.primitives_scanned,
-            "forks": self.forks,
-            "considerations": self.considerations,
-            "trigger_seconds": round(self.trigger_seconds, 6),
-        }
+    FIELDS = (
+        "trigger_checks",
+        "touch_skips",
+        "verdict_hits",
+        "primitives_folded",
+        "primitives_scanned",
+        "forks",
+        "considerations",
+        "trigger_seconds",
+    )
+    SECONDS = frozenset({"trigger_seconds"})
 
 
 class _RuleTransition:
@@ -169,11 +163,13 @@ class RuleProcessor:
         database: Database,
         strategy=None,
         max_steps: int = 10_000,
-        incremental: bool = True,
-        planner: bool = True,
-        durable: bool = False,
-        wal_path: str | None = None,
-        wal=None,
+        incremental: object = _UNSET,
+        planner: object = _UNSET,
+        durable: object = _UNSET,
+        wal_path: object = _UNSET,
+        wal: object = _UNSET,
+        *,
+        config: ExecutionConfig | None = None,
     ) -> None:
         if ruleset.schema is not database.schema:
             raise RuleProcessingError(
@@ -183,11 +179,22 @@ class RuleProcessor:
         self.database = database
         self.strategy = strategy or FirstEligibleStrategy()
         self.max_steps = max_steps
-        self.incremental = incremental
+        #: the session's execution options; the legacy keyword arguments
+        #: map onto it (with a DeprecationWarning) via resolve_config
+        self.config = resolve_config(
+            config,
+            "RuleProcessor",
+            incremental=incremental,
+            planner=planner,
+            durable=durable,
+            wal_path=wal_path,
+            wal=wal,
+        )
+        self.incremental = self.config.incremental
         #: route condition/action SELECTs through the planned executor
         #: (plans and compiled predicates are cached per rule AST, so
         #: every processor step and every explore() fork reuses them)
-        self.planner = planner
+        self.planner = self.config.planner
 
         self.log = DeltaLog()
         self.markers: dict[str, int] = {rule.name: 0 for rule in ruleset}
@@ -200,19 +207,31 @@ class RuleProcessor:
         self._transaction_snapshot = database.snapshot()
         self._rolled_back = False
 
+        #: the incremental match network (rete matching only): topology
+        #: compiled once per processor, memories built lazily and shared
+        #: copy-on-write across fork()s
+        self._rete = None
+        if self.config.matching == "rete":
+            self._rete = ReteInstance(
+                ReteNetwork(ruleset), database, self.log
+            )
+
         #: WAL writer when running durably, else None. Every primitive
         #: the delta log records is framed into the WAL under the open
         #: transaction id; begin/commit/abort markers bracket it.
-        self.wal = wal
+        wal_setting = self.config.wal
+        self.wal = None
+        if wal_setting is not None and not isinstance(wal_setting, str):
+            self.wal = wal_setting
         self._txn_id = 1
-        if self.wal is None and (durable or wal_path is not None):
-            if wal_path is None:
+        if self.wal is None and self.config.wants_wal:
+            if not isinstance(wal_setting, str):
                 raise RuleProcessingError(
                     "durable mode needs wal_path (or a WalWriter via wal=)"
                 )
             from repro.engine.wal import WalWriter
 
-            self.wal = WalWriter(wal_path, schema=database.schema)
+            self.wal = WalWriter(wal_setting, schema=database.schema)
         if self.wal is not None:
             if any(len(database.table(t.name)) for t in database.schema):
                 # The session may start from a pre-loaded database whose
@@ -280,7 +299,7 @@ class RuleProcessor:
         if isinstance(statement, str):
             statement = parse_statement(statement)
         return execute_statement(
-            self.database, statement, log=self.log, planner=self.planner
+            self.database, statement, log=self.log, config=self.config
         )
 
     # ------------------------------------------------------------------
@@ -331,8 +350,7 @@ class RuleProcessor:
             return bool(net.operations(self._column_names) & rule.triggered_by)
 
         marker = self.markers[rule.name]
-        last_write = self.log.last_write(rule.table)
-        if last_write <= marker:
+        if not self.log.written_since(rule.table, marker):
             # Touch index: the rule's table was not written since its
             # marker, so its triggering transition contains no operation
             # on that table — nothing in Triggered-By can hold. The
@@ -344,7 +362,7 @@ class RuleProcessor:
             transition is not None
             and transition.marker == marker
             and transition.triggered is not None
-            and last_write <= transition.checked_at
+            and not self.log.written_since(rule.table, transition.checked_at)
         ):
             # Cached verdict: no primitive on the rule's table appeared
             # since it was computed, so the verdict is unchanged.
@@ -413,13 +431,23 @@ class RuleProcessor:
 
         condition_true = True
         if rule.condition is not None:
-            evaluator = Evaluator(provider, planner=self.planner)
-            if self.planner:
-                condition = P.compile_predicate(rule.condition)
-                value = condition(RowContext(), evaluator)
+            verdict = None
+            if self._rete is not None:
+                # The network's verdict equals the planned executor's by
+                # construction; None means this condition is not
+                # network-supported (or the instance got poisoned) and
+                # the planned path below answers instead.
+                verdict = self._rete.verdict(rule_name)
+            if verdict is not None:
+                condition_true = verdict
             else:
-                value = evaluator.evaluate(rule.condition, RowContext())
-            condition_true = sql_is_truthy(value)
+                evaluator = Evaluator(provider, config=self.config)
+                if self.config.matching == "naive":
+                    value = evaluator.evaluate(rule.condition, RowContext())
+                else:
+                    condition = P.compile_predicate(rule.condition)
+                    value = condition(RowContext(), evaluator)
+                condition_true = sql_is_truthy(value)
 
         if not condition_true:
             return ConsiderationOutcome(
@@ -436,7 +464,7 @@ class RuleProcessor:
                     action,
                     provider=provider,
                     log=self.log,
-                    planner=self.planner,
+                    config=self.config,
                 )
                 if result.kind == "select":
                     self.observables.append(
@@ -476,6 +504,11 @@ class RuleProcessor:
         for name in self.markers:
             self.markers[name] = position
         self._transitions.clear()
+        if self._rete is not None:
+            # The restore rewrote the database underneath the network's
+            # memories (the log is not truncated); rebuild lazily from
+            # the restored state.
+            self._rete.invalidate()
 
     @property
     def rolled_back(self) -> bool:
@@ -597,6 +630,7 @@ class RuleProcessor:
         clone.ruleset = self.ruleset
         clone.strategy = self.strategy
         clone.max_steps = self.max_steps
+        clone.config = self.config
         clone.incremental = self.incremental
         clone.planner = self.planner
         clone.markers = dict(self.markers)
@@ -620,4 +654,9 @@ class RuleProcessor:
             clone.database = self.database.copy(cow=False)
             clone.log = self.log.fork(share=False)
             clone._transitions = {}
+        clone._rete = (
+            None
+            if self._rete is None
+            else self._rete.fork(clone.database, clone.log)
+        )
         return clone

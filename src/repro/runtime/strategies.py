@@ -21,17 +21,27 @@ class FirstEligibleStrategy:
             raise RuleProcessingError("no eligible rules to choose from")
         return eligible[0]
 
+    def clone(self) -> "FirstEligibleStrategy":
+        """An equivalent strategy with independent state (stateless here)."""
+        return FirstEligibleStrategy()
+
 
 class RandomStrategy:
     """Seeded random choice — used to sample execution orders."""
 
     def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
         self._random = random.Random(seed)
 
     def choose(self, eligible: tuple[str, ...]) -> str:
         if not eligible:
             raise RuleProcessingError("no eligible rules to choose from")
         return self._random.choice(list(eligible))
+
+    def clone(self) -> "RandomStrategy":
+        """A fresh strategy re-seeded from the original seed (its choice
+        stream restarts; it does not share the live generator)."""
+        return RandomStrategy(self._seed)
 
 
 class ScriptedStrategy:
@@ -44,6 +54,10 @@ class ScriptedStrategy:
     def __init__(self, script: list[str]) -> None:
         self._script = [name.lower() for name in script]
         self._index = 0
+
+    def clone(self) -> "ScriptedStrategy":
+        """A fresh strategy that replays the script from the top."""
+        return ScriptedStrategy(list(self._script))
 
     def choose(self, eligible: tuple[str, ...]) -> str:
         if self._index < len(self._script):

@@ -233,6 +233,18 @@ class DeltaLog:
         (0 if the table was never written)."""
         return self._last_write.get(table, 0)
 
+    def written_since(self, table: str, position: int) -> bool:
+        """True iff *table* has a primitive at or past *position*.
+
+        The one touch-index consultation both consumers share: the rule
+        processor's two-level triggering short-circuit (a rule whose
+        table was not written since its marker cannot be triggered, and
+        a cached verdict stays valid until the table is written past the
+        check point) and the rete network's advance short-circuit (a
+        network none of whose tables were written needs no folding).
+        """
+        return self._last_write.get(table, 0) > position
+
     def truncate(self, position: int) -> None:
         """Discard primitives past *position* (used by rollback restore)."""
         if position >= self.position:

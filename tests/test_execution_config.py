@@ -1,0 +1,228 @@
+"""The unified ExecutionConfig session API and its legacy-kwarg bridge.
+
+One frozen value object carries every execution option; the scattered
+keyword arguments it replaced (``planner=``, ``incremental=``,
+``durable=``, ``wal_path=``, ``wal=``) keep working for one release
+behind a ``DeprecationWarning``. These tests pin the config's defaults
+and validation, the exact legacy-to-config mapping (``planner=False``
+historically meant the naive path *throughout*, so it selects
+``matching="naive"`` too), the mutual-exclusion rule, and the CLI's
+``--matching`` surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import DEFAULT_CONFIG, ExecutionConfig
+from repro.config import resolve_config
+from repro.engine.database import Database
+from repro.engine.dml import execute_statement
+from repro.engine.expressions import Evaluator
+from repro.engine.query import DatabaseProvider, execute_select
+from repro.lang.parser import parse_expression, parse_statement
+from repro.rules.ruleset import RuleSet
+from repro.runtime.processor import RuleProcessor
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"]})
+
+
+@pytest.fixture
+def ruleset(schema):
+    return RuleSet.parse(
+        """
+        create rule r on t when inserted
+        if exists (select * from t where v > 5)
+        then delete from t where v > 5
+        """,
+        schema,
+    )
+
+
+class TestConfigValue:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.matching == "planned"
+        assert config.planner is True
+        assert config.incremental is True
+        assert config.durable is False
+        assert config.wal is None
+        assert config.profile is False
+        assert config == DEFAULT_CONFIG
+
+    def test_rejects_unknown_matching_mode(self):
+        with pytest.raises(ValueError, match="matching must be one of"):
+            ExecutionConfig(matching="treat")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExecutionConfig().matching = "naive"
+
+    def test_with_options(self):
+        config = ExecutionConfig().with_options(matching="rete")
+        assert config.matching == "rete"
+        assert config.planner is True
+
+    def test_wants_wal(self):
+        assert not ExecutionConfig().wants_wal
+        assert ExecutionConfig(durable=True).wants_wal
+        assert ExecutionConfig(wal="x.wal").wants_wal
+
+
+class TestResolveConfig:
+    def test_no_arguments_yields_default(self):
+        assert resolve_config(None, "api") is DEFAULT_CONFIG
+
+    def test_explicit_config_passes_through(self):
+        config = ExecutionConfig(matching="naive", planner=False)
+        assert resolve_config(config, "api") is config
+
+    def test_planner_false_selects_naive_throughout(self):
+        with pytest.deprecated_call():
+            config = resolve_config(None, "api", planner=False)
+        assert config.matching == "naive"
+        assert config.planner is False
+
+    def test_wal_path_implies_durable(self):
+        with pytest.deprecated_call():
+            config = resolve_config(None, "api", wal_path="x.wal")
+        assert config.durable is True
+        assert config.wal == "x.wal"
+
+    def test_config_plus_legacy_is_an_error(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_config(ExecutionConfig(), "api", planner=False)
+
+    def test_warning_names_the_api_and_keywords(self):
+        with pytest.warns(DeprecationWarning, match="RuleProcessor"):
+            resolve_config(None, "RuleProcessor", incremental=False)
+
+
+class TestLegacyKeywordsStillWork:
+    def test_rule_processor_legacy_kwargs(self, ruleset, schema):
+        with pytest.deprecated_call():
+            processor = RuleProcessor(
+                ruleset, Database(schema), incremental=False, planner=False
+            )
+        assert processor.incremental is False
+        assert processor.planner is False
+        assert processor.config.matching == "naive"
+
+    def test_rule_processor_config_and_legacy_conflict(self, ruleset, schema):
+        with pytest.raises(ValueError, match="not both"):
+            RuleProcessor(
+                ruleset,
+                Database(schema),
+                planner=False,
+                config=ExecutionConfig(),
+            )
+
+    def test_evaluator_legacy_planner(self, schema):
+        database = Database(schema)
+        database.load("t", [(1, 9)])
+        provider = DatabaseProvider(database)
+        expr = parse_expression("exists (select * from t where v > 5)")
+        with pytest.deprecated_call():
+            evaluator = Evaluator(provider, planner=False)
+        from repro.engine.expressions import RowContext
+
+        assert evaluator.evaluate(expr, RowContext()) is True
+
+    def test_execute_select_legacy_planner(self, schema):
+        database = Database(schema)
+        database.load("t", [(1, 9), (2, 1)])
+        provider = DatabaseProvider(database)
+        select = parse_statement("select * from t where v > 5")
+        with pytest.deprecated_call():
+            result = execute_select(provider, select, planner=False)
+        assert result.rows == ((1, 9),)
+
+    def test_execute_statement_legacy_planner(self, schema):
+        database = Database(schema)
+        database.load("t", [(1, 9), (2, 1)])
+        with pytest.deprecated_call():
+            execute_statement(
+                database,
+                parse_statement("delete from t where v > 5"),
+                planner=False,
+            )
+        assert database.table("t").value_tuples() == [(2, 1)]
+
+    def test_config_style_emits_no_warning(self, ruleset, schema):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            RuleProcessor(
+                ruleset,
+                Database(schema),
+                config=ExecutionConfig(matching="rete"),
+            )
+            database = Database(schema)
+            execute_statement(
+                database,
+                parse_statement("insert into t values (1, 2)"),
+                config=ExecutionConfig(),
+            )
+
+
+class TestCliMatching:
+    @pytest.fixture
+    def files(self, tmp_path):
+        def write(name: str, content: str) -> str:
+            path = tmp_path / name
+            path.write_text(content)
+            return str(path)
+
+        return write
+
+    def run_cli(self, files, matching: str, capsys) -> dict:
+        from repro.cli import main
+
+        code = main(
+            [
+                files(
+                    "r.txt",
+                    "create rule r on t when inserted\n"
+                    "if exists (select * from t where v > 5)\n"
+                    "then delete from t where v > 5\n",
+                ),
+                "--schema",
+                files("s.txt", "t: id, v"),
+                "--run",
+                "insert into t values (1, 9)",
+                "--run",
+                "insert into t values (2, 1)",
+                "--matching",
+                matching,
+                "--json",
+            ]
+        )
+        assert code == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_all_modes_agree_and_report_stats(self, files, capsys):
+        payloads = {
+            matching: self.run_cli(files, matching, capsys)
+            for matching in ("naive", "planned", "rete")
+        }
+        finals = {
+            matching: payload["execution"]["final_tables"]
+            for matching, payload in payloads.items()
+        }
+        assert finals["naive"] == finals["planned"] == finals["rete"]
+        assert finals["rete"] == {"t": [[2, 1]]}
+        execution = payloads["rete"]["execution"]
+        # The stats are process-global accumulators (like the planner's),
+        # so assert growth, not absolute values.
+        assert execution["rete_stats"]["rules_supported"] >= 1
+        assert execution["rete_stats"]["terminal_hits"] >= 1
+        assert "planner_stats" in execution
+        # The analysis report's own stats section is untouched.
+        assert "confluence_passes" in payloads["rete"]["stats"]
