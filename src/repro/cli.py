@@ -198,6 +198,25 @@ def build_parser() -> argparse.ArgumentParser:
         "FILE.wal and commit at quiescence; `repro recover FILE.wal` "
         "replays it after a crash",
     )
+    parser.add_argument(
+        "--scheduler",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="with --run: rule scheduling — 'serial' (one rule per "
+        "round, the default) or 'parallel' (rules with a static "
+        "partition or Definition 6.5 commutativity certificate run "
+        "concurrently on copy-on-write forks; pairs without a proof "
+        "serialize)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        metavar="P",
+        help="with --run: hash-partition tables with declared partition "
+        "keys into P shards (enables partition-pruned and fanned-out "
+        "scans; default 1 = flat)",
+    )
     return parser
 
 
@@ -330,6 +349,8 @@ def _execution_config(args) -> tuple[ExecutionConfig, str | None]:
             durable=durable is not None,
             wal=durable,
             profile=bool(getattr(args, "profile", False)),
+            scheduler=getattr(args, "scheduler", "serial"),
+            partitions=getattr(args, "partitions", 1),
         ),
         durable,
     )
@@ -378,6 +399,10 @@ def _run_json(
             "rete_stats": rete.STATS.to_dict(),
         }
     }
+    if config.scheduler == "parallel":
+        from repro.runtime import parallel
+
+        sections["execution"]["scheduler_stats"] = parallel.STATS.to_dict()
     if wal_section is not None:
         sections["execution"]["wal"] = wal_section
 
@@ -430,14 +455,23 @@ def _run_and_trace(
     started = time.perf_counter()
     for statement in args.run:
         processor.execute_user(statement)
-    result, events = trace_run(processor)
+    if config.scheduler == "parallel":
+        # The step trace narrates one serial choice sequence; a batch
+        # round has no single such sequence, so parallel runs report
+        # outcomes and stats without the per-step narration.
+        result, events = processor.run(), None
+    else:
+        result, events = trace_run(processor)
     wal_section = _finish_durable(processor, durable)
     if profile is not None:
         profile["execution"] = time.perf_counter() - started
         profile["triggering"] = processor.stats.trigger_seconds
 
     print("\n== rule processing trace ==")
-    print(render_trace(events))
+    if events is None:
+        print("(per-step trace unavailable under --scheduler parallel)")
+    else:
+        print(render_trace(events))
     print(f"outcome: {result.outcome} after {len(result.steps)} steps")
     print("final state:")
     for table in schema:
@@ -494,6 +528,10 @@ def _print_stats(stats) -> None:
     }
     if rete.STATS.networks_compiled:
         sections["incremental match"] = rete.STATS.to_dict()
+    from repro.runtime import parallel
+
+    if parallel.STATS.rounds:
+        sections["parallel scheduler"] = parallel.STATS.to_dict()
     print(render_stats(sections))
 
 
@@ -504,6 +542,10 @@ def _profile_section(profile: dict) -> dict:
     section["plan"] = round(plan.STATS.plan_seconds, 6)
     if rete.STATS.networks_compiled:
         section["rete_advance"] = round(rete.STATS.advance_seconds, 6)
+    from repro.runtime import parallel
+
+    if parallel.STATS.rounds:
+        section["parallel_merge"] = round(parallel.STATS.merge_seconds, 6)
     return section
 
 

@@ -26,7 +26,17 @@ Fields:
   (cached net effects, touch index, COW snapshots);
 * ``durable`` — write-ahead logging; ``wal`` names the WAL (a path
   string) or supplies an open ``WalWriter``;
-* ``profile`` — collect per-phase wall-clock timings where supported.
+* ``profile`` — collect per-phase wall-clock timings where supported;
+* ``scheduler`` — the rule-consideration loop: ``"serial"`` (one
+  eligible rule per round, the default) or ``"parallel"`` (the
+  commutativity-certified batch scheduler of
+  :mod:`repro.runtime.parallel`, which runs provably-commuting eligible
+  rules concurrently on copy-on-write forks and merges their net
+  effects in a canonical order);
+* ``partitions`` — hash-partition declared tables into this many
+  shards (:meth:`repro.engine.storage.TableData.shard`), enabling
+  partition pruning and per-shard fan-out of condition/action scans;
+  ``1`` (the default) keeps the flat layout.
 
 The legacy ``planner=False`` keyword historically selected the naive
 path for *both* condition matching and statement execution, so it maps
@@ -39,6 +49,9 @@ from dataclasses import dataclass, replace
 
 #: the condition-matching modes `ExecutionConfig.matching` accepts
 MATCHING_MODES = ("rete", "planned", "naive")
+
+#: the rule-scheduling modes `ExecutionConfig.scheduler` accepts
+SCHEDULER_MODES = ("serial", "parallel")
 
 #: sentinel distinguishing "not passed" from every real value, so legacy
 #: keyword defaults do not trigger deprecation warnings
@@ -56,12 +69,23 @@ class ExecutionConfig:
     #: WAL path (str) or an open WalWriter; implies ``durable`` when set
     wal: object = None
     profile: bool = False
+    scheduler: str = "serial"
+    partitions: int = 1
 
     def __post_init__(self) -> None:
         if self.matching not in MATCHING_MODES:
             raise ValueError(
                 f"matching must be one of {', '.join(MATCHING_MODES)}; "
                 f"got {self.matching!r}"
+            )
+        if self.scheduler not in SCHEDULER_MODES:
+            raise ValueError(
+                f"scheduler must be one of {', '.join(SCHEDULER_MODES)}; "
+                f"got {self.scheduler!r}"
+            )
+        if not isinstance(self.partitions, int) or self.partitions < 1:
+            raise ValueError(
+                f"partitions must be a positive int; got {self.partitions!r}"
             )
 
     def with_options(self, **changes) -> "ExecutionConfig":

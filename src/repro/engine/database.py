@@ -20,6 +20,9 @@ class Database:
             table.name: TableData(table.name, len(table)) for table in schema
         }
         self._next_tid = 1
+        #: declared partition keys: table name -> column index (hints only;
+        #: shards materialize when apply_partitioning is called)
+        self._partition_hints: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Access
@@ -74,6 +77,56 @@ class Database:
                     f"value {value!r} does not fit column "
                     f"{table}.{name} of type {column.type.value}"
                 )
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+
+    def declare_partition_key(self, table: str, column: str) -> None:
+        """Declare *column* as the hash-partition key of *table*.
+
+        A declaration is a hint: it records which column a workload
+        distributes on, and takes effect when a session configured with
+        ``ExecutionConfig(partitions=P)`` calls
+        :meth:`apply_partitioning`. Serial sessions ignore hints
+        entirely, so declaring keys never changes behavior on its own.
+        """
+        definition = self.schema.table(table)
+        names = definition.column_names
+        key = column.lower()
+        if key not in names:
+            raise SchemaError(
+                f"table {table!r} has no column {column!r} "
+                f"to partition on"
+            )
+        self._partition_hints[definition.name] = names.index(key)
+
+    @property
+    def partition_hints(self) -> dict[str, int]:
+        """Declared partition keys (table name -> column index)."""
+        return dict(self._partition_hints)
+
+    def adopt_table(self, name: str, data: TableData) -> None:
+        """Replace *name*'s extension with *data* wholesale.
+
+        The parallel scheduler grafts a fork's copy-on-write table —
+        base state plus the fork's own writes — back into the base
+        database in O(1) instead of replaying row-by-row. Only sound
+        when *data* descends from this database's current extension of
+        *name* and no other live state still mutates it.
+        """
+        self._tables[name.lower()] = data
+
+    def apply_partitioning(self, count: int) -> None:
+        """Shard every table with a declared key into *count* shards.
+
+        Idempotent: re-sharding at the same count rebuilds the same
+        layout. ``count <= 1`` keeps the flat layout.
+        """
+        if count <= 1:
+            return
+        for name, column in self._partition_hints.items():
+            self._tables[name].shard(column, count)
 
     # ------------------------------------------------------------------
     # Bulk loading (used by tests, examples, and workload generators)
@@ -165,6 +218,7 @@ class Database:
             name: data.copy(cow=cow) for name, data in self._tables.items()
         }
         clone._next_tid = self._next_tid
+        clone._partition_hints = dict(self._partition_hints)
         return clone
 
     def __repr__(self) -> str:

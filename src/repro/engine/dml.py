@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import _UNSET, ExecutionConfig, resolve_config
+from repro.engine import partition as PART
 from repro.engine import plan as P
 from repro.engine.database import Database
 from repro.engine.expressions import Evaluator, RowContext
@@ -144,6 +145,63 @@ def _execute_insert(
 # ----------------------------------------------------------------------
 
 
+def _pruned_rows(
+    database: Database,
+    table: str,
+    binding: str,
+    where: ast.Expression,
+    evaluator: Evaluator,
+):
+    """The pruned target scan a partition-key conjunct allows, or None
+    when pruning does not apply.
+
+    Sound whenever a *top-level AND* conjunct of *where* pins the
+    partition key to a row-independent value: any row outside the
+    key's shard evaluates that conjunct to False (or NULL), so under
+    Kleene AND the whole predicate cannot be True for it —
+    :func:`~repro.engine.partition.stable_shard`'s equality-consistency
+    guarantees every possibly-matching row lives in the probed shard.
+    A key expression that raises falls back to the full scan so the
+    per-row error behavior of the serial path is preserved.
+
+    Returns ``(rows, key_index, key_value, residual_conjuncts)``: the
+    probed shard's rows, the key column to equality-guard them on (the
+    shard may hold hash siblings of *key_value*), and the conjuncts
+    still to evaluate per row — the pruned conjunct itself is elided,
+    its work done by the raw guard. ``rows`` is empty for a NULL key
+    value (``key = NULL`` matches no row).
+    """
+    data = database.table(table)
+    if data.shard_count == 0:
+        return None
+    key_col = data.partition_column
+    columns = database.schema.table(table).column_names
+    binding_columns = {binding: columns}
+    if binding != table:
+        binding_columns[table] = columns
+    conjuncts = P.split_conjuncts(where)
+    for conjunct in conjuncts:
+        for candidate in binding_columns:
+            probe = P._as_const_probe(conjunct, candidate, binding_columns)
+            if probe is None or probe.column != key_col:
+                continue
+            try:
+                value = evaluator.evaluate(probe.value, RowContext())
+            except Exception:
+                return None
+            if value is None:
+                return [], key_col, None, []
+            P.STATS.shard_probes += 1
+            residual = [c for c in conjuncts if c is not conjunct]
+            return (
+                data.shard_rows(data.shard_of_value(value)),
+                key_col,
+                value,
+                residual,
+            )
+    return None
+
+
 def _matching_tids(
     database: Database,
     table: str,
@@ -152,15 +210,75 @@ def _matching_tids(
     provider,
     config: ExecutionConfig,
 ) -> list[int]:
-    """Tids of rows in *table* satisfying *where* (pre-statement state)."""
+    """Tids of rows in *table* satisfying *where* (pre-statement state).
+
+    With partitioning enabled, a target scan over a sharded table first
+    tries partition pruning (see :func:`_pruned_rows`); an unprunable
+    scan of a large sharded table with a subquery-free predicate fans
+    out per shard on the worker pool instead, merging matched tids in
+    ascending order — the same set, in the same order, as the serial
+    scan.
+    """
     if where is None:
         return [row.tid for row in database.rows(table)]
     columns = database.schema.table(table).column_names
     evaluator = Evaluator(provider, config=config)
     predicate = P.compile_predicate(where) if config.planner else None
+
+    if config.partitions > 1 and config.planner:
+        pruned = _pruned_rows(database, table, binding, where, evaluator)
+        if pruned is not None:
+            rows, key_index, key_value, residual = pruned
+            checks = [P.compile_predicate(conjunct) for conjunct in residual]
+            matched = []
+            context = RowContext()
+            for row in rows:
+                # Raw guard standing in for the elided key conjunct:
+                # stable_shard's equality consistency tracks Python ==,
+                # and a NULL key value compares unequal here exactly as
+                # SQL equality excludes it.
+                if row.values[key_index] != key_value:
+                    continue
+                context.bind(binding, columns, row.values)
+                if binding != table:
+                    context.bind(table, columns, row.values)
+                if all(
+                    sql_is_truthy(check(context, evaluator))
+                    for check in checks
+                ):
+                    matched.append(row.tid)
+            return matched
+        data = database.table(table)
+        if (
+            predicate is not None
+            and data.shard_count > 0
+            and len(data) >= PART.FAN_OUT_MIN_ROWS
+            and not P._has_subquery(where)
+        ):
+            def scan_shard(shard):
+                def task():
+                    context = RowContext()
+                    matched = []
+                    for row in data.shard_rows(shard):
+                        context.bind(binding, columns, row.values)
+                        if binding != table:
+                            context.bind(table, columns, row.values)
+                        if sql_is_truthy(predicate(context, evaluator)):
+                            matched.append(row.tid)
+                    return matched
+                return task
+
+            chunks = PART.map_shards(
+                scan_shard(shard) for shard in range(data.shard_count)
+            )
+            P.STATS.rows_scanned += len(data)
+            P.STATS.fanout_scans += 1
+            return sorted(tid for chunk in chunks for tid in chunk)
+    rows = database.rows(table)
+
     matched = []
     context = RowContext()
-    for row in database.rows(table):
+    for row in rows:
         context.bind(binding, columns, row.values)
         if binding != table:
             # The bare table name also resolves, as in SQL.

@@ -51,6 +51,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.engine import partition as PART
 from repro.engine import values as V
 from repro.engine.expressions import Evaluator, RowContext
 from repro.lang import ast
@@ -79,10 +80,13 @@ class PlannerStats(StatsBase):
         "predicates_compiled",
         "predicate_cache_hits",
         "index_builds",
+        "index_maintains",
         "index_probes",
         "transient_index_builds",
         "hash_join_probes",
         "rows_scanned",
+        "shard_probes",
+        "fanout_scans",
         "plan_seconds",
     )
     SECONDS = frozenset({"plan_seconds"})
@@ -747,17 +751,49 @@ def _persistent_index(provider, table_name: str, cols: tuple[int, ...]):
     return getter(table_name, cols)
 
 
+def _shard_table(provider, table_name: str):
+    """The sharded base TableData behind *table_name*, or None.
+
+    None when the provider cannot expose base storage for the name (an
+    overlay, a transition table) or when the table is flat — in either
+    case the caller falls back to the ordinary scan/index paths.
+    """
+    getter = getattr(provider, "shard_table", None)
+    if getter is None:
+        return None
+    data = getter(table_name)
+    if data is None or data.shard_count == 0:
+        return None
+    return data
+
+
 def execute_planned(
     provider,
     select: ast.Select,
     sources: list[tuple[str, tuple[str, ...], list[tuple]]],
     outer_context: RowContext | None,
     evaluator: Evaluator,
+    config=None,
 ) -> tuple[list[RowContext], list[list[tuple]], Plan]:
     """Run *select*'s plan; returns (matched contexts, raw rows, plan).
 
     The matched contexts and per-source raw rows are exactly what the
     naive cross-product filter produces, in the same order.
+
+    When *config* enables partitioning and a scanned table is sharded,
+    two partition-aware paths apply. A const probe whose columns pin
+    the partition key resolves through the single shard the probe value
+    hashes to (``shard_probes``) — sound because
+    :func:`~repro.engine.partition.stable_shard` is equality-consistent,
+    so every row the probe can match lives in that shard, and the
+    shard-local bucket holds them in the same tid order as the global
+    index. A pushed-down filter scan over a full sharded table fans out
+    across shards on the worker pool (``fanout_scans``) and merges the
+    survivors by tid, reproducing the serial scan's output
+    byte-identically. (Error behavior on ill-typed filter predicates
+    falls in the module's documented divergence class: a fan-out scan
+    may surface a different row's error than the tid-ordered serial
+    scan.)
     """
     source_columns = tuple((binding, columns) for binding, columns, __ in sources)
     plan = plan_select(select, source_columns)
@@ -775,19 +811,36 @@ def execute_planned(
     pools: list = [None] * n
     join_indexes: list = [None] * n
 
+    partitioned = config is not None and config.partitions > 1
+
     filter_context = RowContext(outer=outer_context)
     for i, source_plan in enumerate(plan.sources):
         binding, columns, rows = sources[i]
+        table_data = (
+            _shard_table(provider, table_names[i]) if partitioned else None
+        )
 
         if source_plan.const_probes:
-            key = _probe_key(
-                [value(base, evaluator) for __, value in source_plan.const_probes]
-            )
+            probe_values = [
+                value(base, evaluator) for __, value in source_plan.const_probes
+            ]
+            key = _probe_key(probe_values)
             if key is None:
                 rows = []
             else:
                 cols = tuple(col for col, __ in source_plan.const_probes)
-                index = _persistent_index(provider, table_names[i], cols)
+                index = None
+                if (
+                    table_data is not None
+                    and table_data.partition_column in cols
+                    and len(rows) == len(table_data)
+                ):
+                    at = cols.index(table_data.partition_column)
+                    shard = table_data.shard_of_value(probe_values[at])
+                    index = table_data.shard_equality_index(shard, cols)
+                    STATS.shard_probes += 1
+                if index is None:
+                    index = _persistent_index(provider, table_names[i], cols)
                 if index is None:
                     index = build_equality_index(rows, cols)
                     STATS.transient_index_builds += 1
@@ -795,17 +848,53 @@ def execute_planned(
                 STATS.index_probes += 1
 
         if source_plan.filters:
-            kept = []
             truthy = V.sql_is_truthy
-            for row in rows:
-                filter_context.bind(binding, columns, row)
-                for predicate in source_plan.filters:
-                    if not truthy(predicate(filter_context, evaluator)):
-                        break
-                else:
-                    kept.append(row)
-            STATS.rows_scanned += len(rows)
-            rows = kept
+            filters = source_plan.filters
+            if (
+                table_data is not None
+                and not source_plan.const_probes
+                and len(rows) == len(table_data)
+                and len(rows) >= PART.FAN_OUT_MIN_ROWS
+            ):
+                # Pushed-down filters are subquery-free single-binding
+                # conjuncts by construction (classify_select routes
+                # anything ambiguous to residuals), so workers only
+                # need a private RowContext each.
+                def scan_shard(shard, binding=binding, columns=columns,
+                               table_data=table_data):
+                    def task():
+                        context = RowContext(outer=outer_context)
+                        kept = []
+                        for row in table_data.shard_rows(shard):
+                            context.bind(binding, columns, row.values)
+                            for predicate in filters:
+                                if not truthy(predicate(context, evaluator)):
+                                    break
+                            else:
+                                kept.append((row.tid, row.values))
+                        return kept
+                    return task
+
+                chunks = PART.map_shards(
+                    scan_shard(shard)
+                    for shard in range(table_data.shard_count)
+                )
+                merged = [pair for chunk in chunks for pair in chunk]
+                merged.sort(key=lambda pair: pair[0])
+                STATS.rows_scanned += len(rows)
+                STATS.fanout_scans += 1
+                rows = [values for __, values in merged]
+            else:
+                kept = []
+                for row in rows:
+                    filter_context.bind(binding, columns, row)
+                    for predicate in filters:
+                        if not truthy(predicate(filter_context, evaluator)):
+                            break
+                    else:
+                        kept.append(row)
+                STATS.rows_scanned += len(rows)
+                rows = kept
 
         if source_plan.join_cols is not None:
             if not source_plan.filters and not source_plan.const_probes:

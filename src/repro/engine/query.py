@@ -49,6 +49,11 @@ class DatabaseProvider:
         """The table's persistent hash index on the columns at *cols*."""
         return self._database.table(name).equality_index(cols)
 
+    def shard_table(self, name: str):
+        """The base :class:`~repro.engine.storage.TableData` for *name*
+        (partition-aware scan paths read its shards directly)."""
+        return self._database.table(name)
+
 
 class OverlayProvider:
     """A provider that serves some tables itself and delegates the rest."""
@@ -74,6 +79,14 @@ class OverlayProvider:
             return None
         getter = getattr(self._base, "equality_index", None)
         return None if getter is None else getter(name, cols)
+
+    def shard_table(self, name: str):
+        """Delegate for base tables; None for overlays (an overlay is a
+        small in-memory row list, never sharded storage)."""
+        if name.lower() in self._overlays:
+            return None
+        getter = getattr(self._base, "shard_table", None)
+        return None if getter is None else getter(name)
 
 
 @dataclass(frozen=True)
@@ -164,7 +177,7 @@ def execute_select(
     plan = None
     if planner:
         matched, matched_rows, plan = P.execute_planned(
-            provider, select, sources, outer_context, evaluator
+            provider, select, sources, outer_context, evaluator, config=config
         )
     else:
         matched = []

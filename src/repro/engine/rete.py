@@ -95,8 +95,25 @@ class ReteStats(StatsBase):
     )
     SECONDS = frozenset({"advance_seconds"})
 
+    def reset(self) -> None:
+        super().reset()
+        #: fallback reason -> count; the breakdown of ``fallbacks``
+        #: (which workload shapes the network cannot match yet — the
+        #: prioritization signal for widening the supported fragment)
+        self.fallback_reasons: dict[str, int] = {}
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["fallback_reasons"] = dict(sorted(self.fallback_reasons.items()))
+        return data
+
 
 STATS = ReteStats()
+
+
+def _count_fallback(reason: str) -> None:
+    STATS.fallbacks += 1
+    STATS.fallback_reasons[reason] = STATS.fallback_reasons.get(reason, 0) + 1
 
 #: shared provider-less evaluator for compiled conjuncts — network
 #: predicates never contain subqueries, so no provider is ever consulted
@@ -104,7 +121,49 @@ _EVALUATOR = Evaluator(None)
 
 
 class _Unsupported(Exception):
-    """Internal marker: this condition cannot be network-matched."""
+    """Internal marker: this condition cannot be network-matched.
+
+    Carries the *reason* slug recorded per rule on
+    :attr:`ReteNetwork.unsupported` and tallied into
+    ``ReteStats.fallback_reasons`` at every runtime fallback.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _aggregate_in(select: ast.Select) -> bool:
+    """True when *select* itself computes an aggregate."""
+    if select.group_by:
+        return True
+    exprs = list(item.expr for item in select.items)
+    if select.having is not None:
+        exprs.append(select.having)
+    return any(
+        isinstance(node, ast.FuncCall)
+        and node.name in ast.AGGREGATE_FUNCTIONS
+        for expr in exprs
+        for node in ast.walk_expression(expr)
+    )
+
+
+def _shape_reason(expr: ast.Expression) -> str:
+    """Why a non-boolean-tree condition node is unsupported.
+
+    Distinguishes the aggregate-threshold idiom (``(select count(*)
+    from t) > n``) and plain subquery comparisons from genuinely
+    unknown shapes, so the fallback histogram points at the right
+    ROADMAP item.
+    """
+    if any(_aggregate_in(select) for select in ast.subqueries_of(expr)):
+        return "aggregate"
+    if any(
+        isinstance(node, (ast.InSubquery, ast.ScalarSubquery))
+        for node in ast.walk_expression(expr)
+    ):
+        return "subquery"
+    return "non-boolean-shape"
 
 
 class AlphaNode:
@@ -216,6 +275,8 @@ class ReteNetwork:
         self.alphas_by_table: dict[str, list[AlphaNode]] = {}
         #: rule name -> verdict tree, for network-supported rules only
         self.rules: dict[str, tuple] = {}
+        #: rule name -> reason slug, for network-refused rules
+        self.unsupported: dict[str, str] = {}
 
         STATS.networks_compiled += 1
         for rule in ruleset:
@@ -224,7 +285,8 @@ class ReteNetwork:
             try:
                 self.rules[rule.name] = self._compile_condition(rule.condition)
                 STATS.rules_supported += 1
-            except _Unsupported:
+            except _Unsupported as unsupported:
+                self.unsupported[rule.name] = unsupported.reason
                 STATS.rules_unsupported += 1
         self.tables = frozenset(
             alpha.table for alpha in self.alphas.values()
@@ -253,7 +315,7 @@ class ReteNetwork:
         if isinstance(expr, ast.Exists):
             leaf = self._compile_leaf(expr.subquery)
             return ("not", leaf) if expr.negated else leaf
-        raise _Unsupported
+        raise _Unsupported(_shape_reason(expr))
 
     def _compile_leaf(self, select: ast.Select) -> tuple:
         """Compile one EXISTS subquery into a node chain.
@@ -261,8 +323,10 @@ class ReteNetwork:
         Returns ``("const", bool)`` when a compile-time constant gate
         decides the leaf, else ``("node", terminal)``.
         """
-        if not select.is_star or select.group_by or not select.tables:
-            raise _Unsupported
+        if _aggregate_in(select):
+            raise _Unsupported("aggregate")
+        if not select.is_star or not select.tables:
+            raise _Unsupported("non-star")
 
         schema = self._schema
         sources = []
@@ -270,12 +334,14 @@ class ReteNetwork:
         for ref in select.tables:
             name = ref.name.lower()
             binding = ref.binding_name.lower()
-            if name in ast.TRANSITION_TABLE_NAMES or not schema.has_table(name):
-                raise _Unsupported
+            if name in ast.TRANSITION_TABLE_NAMES:
+                raise _Unsupported("transition-table")
+            if not schema.has_table(name):
+                raise _Unsupported("unknown-table")
             if binding in seen:
                 # Duplicate bindings are a QueryError at execution time;
                 # the planned fallback reproduces it.
-                raise _Unsupported
+                raise _Unsupported("duplicate-binding")
             seen.add(binding)
             sources.append((name, binding, schema.table(name).column_names))
 
@@ -284,7 +350,7 @@ class ReteNetwork:
         )
         classified = P.classify_select(select, source_columns)
         if classified.has_ambiguous:
-            raise _Unsupported
+            raise _Unsupported("ambiguous-residual")
 
         # Row-independent expressions are evaluated by the planned
         # executor on every query — even over empty tables — so any that
@@ -294,7 +360,7 @@ class ReteNetwork:
             try:
                 value = P.compile_predicate(gate)(probe, _EVALUATOR)
             except Exception:
-                raise _Unsupported from None
+                raise _Unsupported("constant-error") from None
             if not V.sql_is_truthy(value):
                 return ("const", False)
         for source in classified.sources:
@@ -302,7 +368,7 @@ class ReteNetwork:
                 try:
                     P.compile_predicate(const_probe.value)(probe, _EVALUATOR)
                 except Exception:
-                    raise _Unsupported from None
+                    raise _Unsupported("constant-error") from None
 
         chain: list[AlphaNode] = []
         node = None
@@ -444,11 +510,16 @@ class ReteInstance:
         """The rule's condition verdict, or None to fall back."""
         tree = self.network.rules.get(rule_name)
         if tree is None or self._poisoned:
-            STATS.fallbacks += 1
+            if self._poisoned:
+                _count_fallback("poisoned")
+            else:
+                _count_fallback(
+                    self.network.unsupported.get(rule_name, "no-condition")
+                )
             return None
         self._advance()
         if self._poisoned:
-            STATS.fallbacks += 1
+            _count_fallback("poisoned")
             return None
         STATS.terminal_hits += 1
         return self._eval(tree)

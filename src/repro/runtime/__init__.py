@@ -13,6 +13,7 @@
 """
 
 from repro.runtime.observer import ObservableAction
+from repro.runtime.parallel import ParallelScheduler, SchedulerStats
 from repro.runtime.processor import ConsiderationOutcome, ProcessingResult, RuleProcessor
 from repro.runtime.strategies import (
     FirstEligibleStrategy,
@@ -23,6 +24,8 @@ from repro.runtime.exec_graph import ExecutionGraph, explore
 
 __all__ = [
     "ObservableAction",
+    "ParallelScheduler",
+    "SchedulerStats",
     "ConsiderationOutcome",
     "ProcessingResult",
     "RuleProcessor",

@@ -10,7 +10,10 @@
   for the Section 6.4 repair-loop, partial-confluence and observable-
   determinism experiments;
 * :mod:`repro.workloads.queries` — seeded query workloads for the
-  query-engine benchmark gate (join-heavy and selective-filter shapes).
+  query-engine benchmark gate (join-heavy and selective-filter shapes);
+* :mod:`repro.workloads.partitioned` — the hash-partitionable
+  multi-domain drain workload feeding the partition-parallel gate and
+  the parallel-vs-serial equivalence harness.
 """
 
 from repro.workloads.generator import (
@@ -32,6 +35,10 @@ from repro.workloads.queries import (
     join_heavy_workload,
     selective_filter_workload,
 )
+from repro.workloads.partitioned import (
+    PartitionedWorkload,
+    partitioned_workload,
+)
 
 __all__ = [
     "GeneratorConfig",
@@ -47,4 +54,6 @@ __all__ = [
     "scratch_table_application",
     "join_heavy_workload",
     "selective_filter_workload",
+    "PartitionedWorkload",
+    "partitioned_workload",
 ]

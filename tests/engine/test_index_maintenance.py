@@ -1,0 +1,93 @@
+"""Incremental equality-index maintenance (no rebuild-from-scratch).
+
+Regression pins for the planner's persistent equality indexes: once an
+index exists, row mutations must maintain it in place — ``index_builds``
+counts only from-scratch constructions, ``index_maintains`` counts
+per-index incremental fixups. The historical behavior (dropping the
+index on delete/update and rebuilding on the next probe) would show up
+here as extra builds.
+"""
+
+import pytest
+
+from repro.engine import plan
+from repro.engine.storage import TableData, index_key
+
+
+@pytest.fixture
+def table():
+    data = TableData("t", 2)
+    for tid in range(1, 6):
+        data.insert(tid, (tid, tid * 10))
+    return data
+
+
+@pytest.fixture(autouse=True)
+def fresh_counters():
+    plan.STATS.reset()
+    yield
+    plan.STATS.reset()
+
+
+def test_first_probe_builds_once(table):
+    first = table.equality_index((0,))
+    assert plan.STATS.index_builds == 1
+    assert table.equality_index((0,)) is first
+    assert plan.STATS.index_builds == 1
+
+
+def test_insert_maintains_instead_of_rebuilding(table):
+    index = table.equality_index((0,))
+    builds = plan.STATS.index_builds
+    table.insert(99, (7, 700))
+    assert plan.STATS.index_builds == builds
+    assert plan.STATS.index_maintains == 1
+    after = table.equality_index((0,))
+    assert after is index
+    assert after[index_key((7, 700), (0,))] == [(7, 700)]
+
+
+def test_delete_maintains_instead_of_rebuilding(table):
+    index = table.equality_index((0,))
+    builds = plan.STATS.index_builds
+    table.delete(3)
+    assert plan.STATS.index_builds == builds
+    assert plan.STATS.index_maintains == 1
+    after = table.equality_index((0,))
+    assert after is index
+    assert index_key((3, 30), (0,)) not in after
+
+
+def test_update_maintains_instead_of_rebuilding(table):
+    index = table.equality_index((0,))
+    builds = plan.STATS.index_builds
+    table.update(3, (3, -1))
+    assert plan.STATS.index_builds == builds
+    assert plan.STATS.index_maintains == 1
+    after = table.equality_index((0,))
+    assert after is index
+    assert after[index_key((3, -1), (0,))] == [(3, -1)]
+
+
+def test_every_live_index_is_maintained(table):
+    table.equality_index((0,))
+    table.equality_index((1,))
+    assert plan.STATS.index_builds == 2
+    table.insert(99, (7, 700))
+    # One maintain per live index, not a shared rebuild.
+    assert plan.STATS.index_maintains == 2
+    assert table.equality_index((0,))[index_key((7, 700), (0,))] == [(7, 700)]
+    assert table.equality_index((1,))[index_key((7, 700), (1,))] == [(7, 700)]
+
+
+def test_maintained_index_matches_fresh_build(table):
+    table.equality_index((0,))
+    table.insert(99, (2, 990))
+    table.update(1, (2, 11))
+    table.delete(4)
+    maintained = table.equality_index((0,))
+
+    fresh = TableData("t", 2)
+    for tid, values in table.items():
+        fresh.insert(tid, values)
+    assert maintained == fresh.equality_index((0,))

@@ -1,0 +1,138 @@
+"""The rete fallback histogram: which reason, counted where.
+
+``ReteStats.fallbacks`` alone says the network declined; the per-reason
+breakdown (``fallback_reasons``) says *why* — which ROADMAP item would
+convert each fallback into network coverage. These tests pin the reason
+slug recorded on :attr:`ReteNetwork.unsupported` for each out-of-scope
+condition shape, and that runtime verdicts tally the same slug into
+``STATS.fallback_reasons`` (surfaced via ``to_dict`` for ``--stats`` /
+``--json``).
+"""
+
+import pytest
+
+from repro.config import ExecutionConfig
+from repro.engine.database import Database
+from repro.engine.rete import STATS, ReteNetwork
+from repro.rules.ruleset import RuleSet
+from repro.runtime.processor import RuleProcessor
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture(autouse=True)
+def fresh_stats():
+    STATS.reset()
+    yield
+    STATS.reset()
+
+
+def network_for(source: str, tables: dict) -> ReteNetwork:
+    schema = schema_from_spec(tables)
+    return ReteNetwork(RuleSet.parse(source, schema))
+
+
+class TestCompileTimeReasons:
+    def test_aggregate_condition(self):
+        network = network_for(
+            """
+            create rule r on t when inserted
+            if (select count(x) from t) > 2
+            then delete from t where x < 0
+            """,
+            {"t": ["x"]},
+        )
+        assert network.unsupported == {"r": "aggregate"}
+
+    def test_aggregate_inside_exists(self):
+        network = network_for(
+            """
+            create rule r on t when inserted
+            if exists (select * from t group by x having count(x) > 1)
+            then delete from t where x < 0
+            """,
+            {"t": ["x"]},
+        )
+        assert network.unsupported == {"r": "aggregate"}
+
+    def test_scalar_subquery_comparison(self):
+        network = network_for(
+            """
+            create rule r on t when inserted
+            if (select x from u) > 2
+            then delete from t where x < 0
+            """,
+            {"t": ["x"], "u": ["x"]},
+        )
+        assert network.unsupported == {"r": "subquery"}
+
+    def test_transition_table_read(self):
+        network = network_for(
+            """
+            create rule r on t when inserted
+            if exists (select * from inserted where x > 0)
+            then delete from t where x < 0
+            """,
+            {"t": ["x"]},
+        )
+        assert network.unsupported == {"r": "transition-table"}
+
+    def test_supported_rules_record_no_reason(self):
+        network = network_for(
+            """
+            create rule r on t when inserted
+            if exists (select * from t where x > 0)
+            then delete from t where x < 0
+            """,
+            {"t": ["x"]},
+        )
+        assert network.unsupported == {}
+        assert "r" in network.rules
+
+
+class TestRuntimeHistogram:
+    SOURCE = """
+    create rule agg on t when inserted
+    if (select count(x) from t) > 100
+    then insert into v values (1)
+
+    create rule plain on t when inserted
+    if exists (select * from t where x > 100)
+    then insert into v values (2)
+    """
+
+    TABLES = {"t": ["x"], "v": ["x"]}
+
+    def run_session(self):
+        schema = schema_from_spec(self.TABLES)
+        ruleset = RuleSet.parse(self.SOURCE, schema)
+        processor = RuleProcessor(
+            ruleset,
+            Database(schema),
+            config=ExecutionConfig(matching="rete"),
+        )
+        processor.execute_user("insert into t values (1)")
+        processor.execute_user("insert into t values (2)")
+        result = processor.run()
+        assert result.outcome == "quiescent"
+
+    def test_fallbacks_tally_by_reason(self):
+        self.run_session()
+        assert STATS.fallbacks >= 1
+        assert set(STATS.fallback_reasons) == {"aggregate"}
+        # The histogram decomposes the total exactly.
+        assert sum(STATS.fallback_reasons.values()) == STATS.fallbacks
+
+    def test_histogram_surfaces_in_to_dict(self):
+        self.run_session()
+        payload = STATS.to_dict()
+        assert payload["fallbacks"] == STATS.fallbacks
+        assert payload["fallback_reasons"]["aggregate"] >= 1
+        # Sorted for stable --json output.
+        keys = list(payload["fallback_reasons"])
+        assert keys == sorted(keys)
+
+    def test_reset_clears_histogram(self):
+        self.run_session()
+        STATS.reset()
+        assert STATS.fallback_reasons == {}
+        assert STATS.fallbacks == 0

@@ -122,17 +122,21 @@ class TestEqualityIndex:
         table.insert(3, (3, None))
         assert sum(len(rows) for rows in index.values()) == size_before
 
-    def test_delete_invalidates(self, table):
+    def test_delete_maintains_incrementally(self, table):
         first = table.equality_index((0,))
         table.delete(1)
         second = table.equality_index((0,))
-        assert second is not first
+        assert second is first
         assert sum(len(rows) for rows in second.values()) == 1
 
-    def test_update_invalidates(self, table):
+    def test_update_maintains_incrementally(self, table):
         first = table.equality_index((0,))
         table.update(1, (7, 10))
-        assert table.equality_index((0,)) is not first
+        second = table.equality_index((0,))
+        assert second is first
+        [moved] = [rows for rows in second.values() if (7, 10) in rows]
+        assert moved == [(7, 10)]
+        assert sum(len(rows) for rows in second.values()) == 2
 
     def test_bool_and_int_keys_stay_distinct(self):
         data = TableData("t", 1)
