@@ -30,9 +30,23 @@ from repro.analysis.commutativity import (
     NoncommutativityReason,
 )
 from repro.analysis.termination import (
+    ComponentVerdict,
     TerminationAnalysis,
     TerminationAnalyzer,
+    TerminationReport,
     TriggeringGraph,
+    build_termination_report,
+)
+from repro.analysis.stratification import (
+    StratificationAnalysis,
+    StratificationAnalyzer,
+)
+from repro.analysis.critical import (
+    CriticalAnalysis,
+    CriticalInstanceAnalyzer,
+    Witness,
+    find_witness,
+    replay_witness,
 )
 from repro.analysis.confluence import (
     ConfluenceAnalysis,
@@ -78,9 +92,19 @@ __all__ = [
     "OBS_TABLE",
     "CommutativityAnalyzer",
     "NoncommutativityReason",
+    "ComponentVerdict",
     "TerminationAnalysis",
     "TerminationAnalyzer",
+    "TerminationReport",
     "TriggeringGraph",
+    "build_termination_report",
+    "StratificationAnalysis",
+    "StratificationAnalyzer",
+    "CriticalAnalysis",
+    "CriticalInstanceAnalyzer",
+    "Witness",
+    "find_witness",
+    "replay_witness",
     "ConfluenceAnalysis",
     "ConfluenceAnalyzer",
     "ConfluenceViolation",

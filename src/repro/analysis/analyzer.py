@@ -48,11 +48,17 @@ from repro.analysis.corollaries import (
 from repro.analysis.engine import AnalysisEngine
 from repro.analysis.observable import ObservableDeterminismAnalysis
 from repro.analysis.partial_confluence import PartialConfluenceAnalysis
-from repro.analysis.termination import TerminationAnalysis
+from repro.analysis.termination import (
+    TerminationAnalysis,
+    TerminationReport,
+    build_termination_report,
+)
 from repro.rules.ruleset import RuleSet
 
 #: Version tag of the ``AnalysisReport.to_dict`` schema.
-REPORT_SCHEMA_VERSION = 1
+# 2: added the optional "termination_report" section (layered
+# stratified/critical-instance verdicts); version-1 payloads load fine.
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -77,23 +83,37 @@ class AnalysisReport:
     stats: dict[str, Any] | None = None
     #: wall-clock seconds per phase of this analysis pass
     timings: dict[str, float] = field(default_factory=dict)
+    #: layered per-cycle verdicts (``--termination stratified|critical``);
+    #: None when the pass ran in plain Theorem-5.1 mode
+    termination_report: TerminationReport | None = None
 
     @property
     def terminates(self) -> bool:
+        if self.termination_report is not None:
+            return self.termination_report.terminates
         return self.termination.guaranteed
 
     @property
     def confluent(self) -> bool:
-        """Theorem 6.7's combined verdict."""
-        return self.confluence.confluent(self.termination.guaranteed)
+        """Theorem 6.7's combined verdict (layered termination counts)."""
+        return self.confluence.confluent(self.terminates)
 
     @property
     def observably_deterministic(self) -> bool:
-        return self.observable_determinism.observably_deterministic
+        """Theorem 8.1's combined verdict (layered termination counts)."""
+        return (
+            self.observable_determinism.confluence.requirement_holds
+            and self.terminates
+        )
 
     def summary(self) -> str:
+        termination_line = (
+            self.termination_report.describe()
+            if self.termination_report is not None
+            else self.termination.describe()
+        )
         lines = [
-            f"termination:            {self.termination.describe()}",
+            f"termination:            {termination_line}",
             f"confluence:             {self.confluence.describe()}",
             f"observable determinism: {self.observable_determinism.describe()}",
         ]
@@ -153,6 +173,11 @@ class AnalysisReport:
             "timings": {
                 phase: self.timings[phase] for phase in sorted(self.timings)
             },
+            "termination_report": (
+                self.termination_report.to_dict()
+                if self.termination_report is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -184,6 +209,11 @@ class AnalysisReport:
             },
             stats=data.get("stats"),
             timings=dict(data.get("timings", {})),
+            termination_report=(
+                TerminationReport.from_dict(data["termination_report"])
+                if data.get("termination_report") is not None
+                else None
+            ),
         )
 
 
@@ -397,10 +427,20 @@ class RuleAnalyzer:
         return self.engine.analyze_observable_determinism()
 
     def analyze(
-        self, *, tables: Iterable[Iterable[str]] = ()
+        self,
+        *,
+        tables: Iterable[Iterable[str]] = (),
+        termination_mode: str | None = None,
+        rules_source: str | None = None,
     ) -> AnalysisReport:
         """Run all three analyses (plus partial confluence for each
-        group in *tables*) and bundle the verdicts with engine stats."""
+        group in *tables*) and bundle the verdicts with engine stats.
+
+        *termination_mode* ``"stratified"`` or ``"critical"`` attaches a
+        layered :class:`TerminationReport` whose per-cycle verdicts then
+        drive the report's ``terminates`` property (``"tg"``/None keeps
+        the plain Theorem 5.1 verdict). *rules_source* is embedded in
+        any non-termination witness so it replays standalone."""
         timings: dict[str, float] = {}
 
         def timed(phase, thunk):
@@ -410,6 +450,19 @@ class RuleAnalyzer:
             return result
 
         termination = timed("termination", self.analyze_termination)
+        layered: TerminationReport | None = None
+        if termination_mode not in (None, "tg"):
+            layered = timed(
+                f"termination[{termination_mode}]",
+                lambda: build_termination_report(
+                    self.ruleset,
+                    mode=termination_mode,
+                    certified=tuple(
+                        self.engine.termination_analyzer.certified_rules
+                    ),
+                    rules_source=rules_source,
+                ),
+            )
         confluence = timed("confluence", self.analyze_confluence)
         observable = timed("observable", self.analyze_observable_determinism)
         partial: dict[frozenset[str], PartialConfluenceAnalysis] = {}
@@ -431,6 +484,7 @@ class RuleAnalyzer:
             partial_confluence=partial,
             stats=stats,
             timings=timings,
+            termination_report=layered,
         )
 
     def analyze_restricted(

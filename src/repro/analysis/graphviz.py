@@ -30,6 +30,8 @@ def triggering_graph_dot(
     certified_pairs: frozenset[frozenset[str]] = frozenset(),
     suggested: frozenset[str] = frozenset(),
     legend: bool = False,
+    strata: dict[str, int] | None = None,
+    witness_rules: frozenset[str] = frozenset(),
 ) -> str:
     """Render ``TG_R`` as DOT.
 
@@ -37,10 +39,15 @@ def triggering_graph_dot(
     user-certified); rules in *suggested* — uncertified cycle members
     the lint heuristics (RPL007) believe could be discharged — keep the
     red fill but get a dashed border, mirroring the "suggested cycle
-    certification" lint output. ``Triggers`` edges are solid, direct
+    certification" lint output. Rules in *witness_rules* — members of a
+    cycle with a concrete non-termination witness (RPL010) — are filled
+    orange with a bold border. ``Triggers`` edges are solid, direct
     priority edges dashed grey, and user-certified commutativity
-    *certified_pairs* appear as dashed green undirected edges. With
-    ``legend=True`` a legend cluster explains every style in use.
+    *certified_pairs* appear as dashed green undirected edges. When the
+    layered analysis supplies *strata* (rule -> stratum of the
+    refined-graph condensation), nodes are grouped into one
+    ``cluster_stratum_<i>`` subgraph per stratum. With ``legend=True``
+    a legend cluster explains every style in use.
     """
     cyclic_members: set[str] = set()
     for component in graph.cyclic_components():
@@ -48,11 +55,18 @@ def triggering_graph_dot(
 
     lines = ["digraph triggering_graph {", "  rankdir=LR;"]
     lines.append("  node [shape=box, style=rounded];")
-    for node in graph.nodes:
+
+    def node_line(node: str, indent: str = "  ") -> str:
         attributes = []
-        if node in cyclic_members:
+        if node in witness_rules:
+            attributes.append(
+                'style="rounded,filled,bold", fillcolor=orange'
+            )
+        elif node in cyclic_members:
             if node in certified:
-                attributes.append('style="rounded,filled", fillcolor=palegreen')
+                attributes.append(
+                    'style="rounded,filled", fillcolor=palegreen'
+                )
             elif node in suggested:
                 attributes.append(
                     'style="rounded,filled,dashed", fillcolor=lightcoral'
@@ -62,7 +76,27 @@ def triggering_graph_dot(
                     'style="rounded,filled", fillcolor=lightcoral'
                 )
         rendered = f" [{', '.join(attributes)}]" if attributes else ""
-        lines.append(f"  {_quote(node)}{rendered};")
+        return f"{indent}{_quote(node)}{rendered};"
+
+    if strata:
+        by_stratum: dict[int | None, list[str]] = {}
+        for node in graph.nodes:
+            by_stratum.setdefault(strata.get(node), []).append(node)
+        for stratum in sorted(
+            key for key in by_stratum if key is not None
+        ):
+            lines.append(f"  subgraph cluster_stratum_{stratum} {{")
+            lines.append(f'    label="stratum {stratum}";')
+            lines.append("    fontsize=10;")
+            lines.append("    color=grey;")
+            for node in sorted(by_stratum[stratum]):
+                lines.append(node_line(node, indent="    "))
+            lines.append("  }")
+        for node in sorted(by_stratum.get(None, ())):
+            lines.append(node_line(node))
+    else:
+        for node in graph.nodes:
+            lines.append(node_line(node))
 
     for source in graph.nodes:
         for target in sorted(graph.successors[source]):
@@ -84,7 +118,11 @@ def triggering_graph_dot(
         )
 
     if legend:
-        lines.extend(_legend_lines(certified, certified_pairs, suggested))
+        lines.extend(
+            _legend_lines(
+                certified, certified_pairs, suggested, witness_rules
+            )
+        )
 
     lines.append("}")
     return "\n".join(lines) + "\n"
@@ -94,6 +132,7 @@ def _legend_lines(
     certified: frozenset[str],
     certified_pairs: frozenset[frozenset[str]],
     suggested: frozenset[str],
+    witness_rules: frozenset[str] = frozenset(),
 ) -> list[str]:
     rows = [
         ("uncertified cycle member", "filled", "lightcoral"),
@@ -102,6 +141,11 @@ def _legend_lines(
         rows.append(
             ("certification suggested (lint RPL007)", "filled,dashed",
              "lightcoral")
+        )
+    if witness_rules:
+        rows.append(
+            ("non-termination witness (lint RPL010)", "filled,bold",
+             "orange")
         )
     if certified:
         rows.append(("user-certified cycle member", "filled", "palegreen"))

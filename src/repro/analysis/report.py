@@ -33,6 +33,7 @@ def render_markdown(
     _verdict_table(lines, report)
     _rule_inventory(lines, analyzer, ruleset)
     _triggering_graph(lines, analyzer, report)
+    _layered_termination_section(lines, report)
     _confluence_section(lines, report)
     _observable_section(lines, report)
 
@@ -123,6 +124,46 @@ def _triggering_graph(
                 suffix.append("certified by user")
             detail = f" ({'; '.join(suffix)})" if suffix else ""
             lines.append(f"- {{{members}}}{detail}")
+        lines.append("")
+
+
+def _layered_termination_section(
+    lines: list[str], report: AnalysisReport
+) -> None:
+    layered = report.termination_report
+    if layered is None:
+        return
+    lines.append(f"## Layered termination analysis (mode: {layered.mode})")
+    lines.append("")
+    if not layered.verdicts:
+        lines.append("The triggering graph is acyclic; nothing to certify.")
+        lines.append("")
+        return
+    lines.append("| cycle | verdict | stratum | detail |")
+    lines.append("|---|---|---|---|")
+    for verdict in layered.verdicts:
+        members = ", ".join(f"`{name}`" for name in sorted(verdict.component))
+        stratum = "—" if verdict.stratum is None else str(verdict.stratum)
+        detail = verdict.detail or "—"
+        lines.append(
+            f"| {{{members}}} | {verdict.label()} | {stratum} | {detail} |"
+        )
+    lines.append("")
+    if layered.pruned_edges:
+        lines.append("Refined-graph edges pruned:")
+        lines.append("")
+        for source, target, reason in layered.pruned_edges:
+            lines.append(f"- `{source}` → `{target}`: {reason}")
+        lines.append("")
+    for witness in layered.witnesses():
+        members = ", ".join(f"`{name}`" for name in witness.component)
+        trace = " → ".join(f"`{label}`" for label in witness.trace)
+        lines.append(
+            f"Non-termination witness for {{{members}}} "
+            f"({witness.kind}): seed with "
+            + "; ".join(f"`{stmt}`" for stmt in witness.statements)
+            + f", then the run loops on {trace}. {witness.detail}."
+        )
         lines.append("")
 
 

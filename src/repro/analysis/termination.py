@@ -37,6 +37,36 @@ class TriggeringGraph:
             name: definitions.triggers(name) for name in self.nodes
         }
 
+    @classmethod
+    def from_successors(
+        cls,
+        nodes,
+        successors: dict[str, frozenset[str]],
+        definitions: DerivedDefinitions | None = None,
+    ) -> "TriggeringGraph":
+        """Build a graph over an explicit edge relation (reduced or
+        refined graphs reuse the SCC/cycle machinery this way)."""
+        graph = cls.__new__(cls)
+        graph.definitions = definitions
+        graph.nodes = tuple(nodes)
+        graph.successors = {
+            node: frozenset(successors.get(node, frozenset()))
+            for node in graph.nodes
+        }
+        return graph
+
+    def restricted_to(self, members: frozenset[str]) -> "TriggeringGraph":
+        """The induced subgraph on *members*."""
+        return TriggeringGraph.from_successors(
+            tuple(node for node in self.nodes if node in members),
+            {
+                node: self.successors[node] & members
+                for node in self.nodes
+                if node in members
+            },
+            self.definitions,
+        )
+
     def edges(self) -> list[tuple[str, str]]:
         return [
             (source, target)
@@ -121,26 +151,32 @@ class TriggeringGraph:
             if len(cycles) >= limit:
                 break
             # DFS allowing only nodes >= start, so each cycle is found
-            # exactly once (rooted at its least node).
+            # exactly once (rooted at its least node). Explicit stack of
+            # (node, successor iterator) frames: generated rule graphs
+            # reach thousands of nodes, past the recursion limit.
             path = [start]
             on_path = {start}
-
-            def dfs(node: str) -> None:
-                if len(cycles) >= limit:
-                    return
-                for successor in sorted(self.successors[node]):
+            work = [(start, iter(sorted(self.successors[start])))]
+            while work and len(cycles) < limit:
+                node, successor_iter = work[-1]
+                advanced = False
+                for successor in successor_iter:
                     if successor == start:
                         cycles.append(tuple(path))
                         if len(cycles) >= limit:
-                            return
+                            break
                     elif successor > start and successor not in on_path:
                         path.append(successor)
                         on_path.add(successor)
-                        dfs(successor)
-                        on_path.discard(successor)
-                        path.pop()
-
-            dfs(start)
+                        work.append(
+                            (successor, iter(sorted(self.successors[successor])))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    work.pop()
+                    on_path.discard(node)
+                    path.pop()
         return cycles
 
 
@@ -460,6 +496,358 @@ def _monotonic_drifts(rule) -> list[tuple[str, str, int]] | None:
                 return None
             drifts.append(drift)
     return drifts or None
+
+
+# ----------------------------------------------------------------------
+# Layered termination report (chase-grade analysis, Section 5 extended)
+# ----------------------------------------------------------------------
+
+#: Ordered analysis modes: each subsumes the previous one.
+TERMINATION_MODES = ("tg", "stratified", "critical")
+
+VERDICT_AUTO = "auto-certified"
+VERDICT_USER = "user-certified"
+VERDICT_WITNESS = "witness-nonterminating"
+VERDICT_UNKNOWN = "unknown"
+
+#: Analyzer labels for auto-certified verdicts, weakest first.
+ANALYZER_DELETE_ONLY = "delete-only"
+ANALYZER_MONOTONIC = "monotonic"
+ANALYZER_STRATIFIED = "stratified"
+ANALYZER_CRITICAL = "critical-instance"
+
+
+@dataclass(frozen=True)
+class ComponentVerdict:
+    """Per-cycle verdict of the layered termination analysis.
+
+    ``verdict`` is one of ``auto-certified``, ``user-certified``,
+    ``witness-nonterminating`` or ``unknown``; for auto-certified
+    components ``analyzer`` names the weakest layer that discharged the
+    cycle (``delete-only | monotonic | stratified | critical-instance``).
+    """
+
+    component: tuple[str, ...]
+    verdict: str
+    analyzer: str | None = None
+    certified_rules: tuple[str, ...] = ()
+    stratum: int | None = None
+    detail: str = ""
+    witness: object | None = None
+
+    @property
+    def discharged(self) -> bool:
+        return self.verdict in (VERDICT_AUTO, VERDICT_USER)
+
+    def label(self) -> str:
+        if self.verdict == VERDICT_AUTO and self.analyzer:
+            return f"{VERDICT_AUTO}({self.analyzer})"
+        return self.verdict
+
+    def to_dict(self) -> dict:
+        payload = {
+            "component": list(self.component),
+            "verdict": self.verdict,
+            "analyzer": self.analyzer,
+            "certified_rules": list(self.certified_rules),
+            "stratum": self.stratum,
+            "detail": self.detail,
+        }
+        if self.witness is not None:
+            payload["witness"] = self.witness.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComponentVerdict":
+        witness = None
+        if payload.get("witness") is not None:
+            from repro.analysis.critical import Witness
+
+            witness = Witness.from_dict(payload["witness"])
+        return cls(
+            component=tuple(payload["component"]),
+            verdict=payload["verdict"],
+            analyzer=payload.get("analyzer"),
+            certified_rules=tuple(payload.get("certified_rules", ())),
+            stratum=payload.get("stratum"),
+            detail=payload.get("detail", ""),
+            witness=witness,
+        )
+
+
+@dataclass
+class TerminationReport:
+    """Outcome of the layered (stratified / critical-instance) analysis.
+
+    One :class:`ComponentVerdict` per cyclic strong component of the
+    *base* triggering graph; ``strata`` maps each rule to its stratum in
+    the refined-graph condensation (empty in plain ``tg`` mode).
+    """
+
+    mode: str
+    verdicts: list[ComponentVerdict]
+    strata: dict[str, int] = field(default_factory=dict)
+    pruned_edges: list[tuple[str, str, str]] = field(default_factory=list)
+    base: TerminationAnalysis | None = None
+
+    @property
+    def terminates(self) -> bool:
+        return all(verdict.discharged for verdict in self.verdicts)
+
+    @property
+    def has_witness(self) -> bool:
+        return any(v.verdict == VERDICT_WITNESS for v in self.verdicts)
+
+    def witnesses(self) -> list:
+        return [
+            verdict.witness
+            for verdict in self.verdicts
+            if verdict.witness is not None
+        ]
+
+    def verdict_for(self, rule: str) -> ComponentVerdict | None:
+        rule = rule.lower()
+        for verdict in self.verdicts:
+            if rule in verdict.component:
+                return verdict
+        return None
+
+    def describe(self) -> str:
+        if not self.verdicts:
+            return (
+                f"termination guaranteed [{self.mode}] "
+                "(triggering graph is acyclic)"
+            )
+        if self.terminates:
+            return (
+                f"termination guaranteed [{self.mode}] ("
+                + "; ".join(
+                    "{" + ", ".join(v.component) + "}: " + v.label()
+                    for v in self.verdicts
+                )
+                + ")"
+            )
+        bad = "; ".join(
+            "{" + ", ".join(v.component) + "}: " + v.label()
+            for v in self.verdicts
+            if not v.discharged
+        )
+        prefix = (
+            "non-terminating"
+            if self.has_witness
+            else "may not terminate"
+        )
+        return f"{prefix} [{self.mode}]: {bad}"
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "terminates": self.terminates,
+            "verdicts": [verdict.to_dict() for verdict in self.verdicts],
+            "strata": dict(sorted(self.strata.items())),
+            "pruned_edges": [list(edge) for edge in self.pruned_edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TerminationReport":
+        return cls(
+            mode=payload["mode"],
+            verdicts=[
+                ComponentVerdict.from_dict(entry)
+                for entry in payload.get("verdicts", ())
+            ],
+            strata={
+                rule: int(stratum)
+                for rule, stratum in payload.get("strata", {}).items()
+            },
+            pruned_edges=[
+                (edge[0], edge[1], edge[2])
+                for edge in payload.get("pruned_edges", ())
+            ],
+        )
+
+
+def _component_stratum(
+    component: frozenset[str], strata: dict[str, int]
+) -> int | None:
+    values = [strata[rule] for rule in component if rule in strata]
+    return min(values) if values else None
+
+
+def build_termination_report(
+    ruleset,
+    *,
+    mode: str = "stratified",
+    certified: tuple[str, ...] = (),
+    definitions: DerivedDefinitions | None = None,
+    find_witnesses: bool = True,
+    rules_source: str | None = None,
+    witness_max_states: int = 400,
+    witness_max_steps: int = 300,
+) -> TerminationReport:
+    """Run the layered termination analysis at the requested *mode*.
+
+    ``tg`` reproduces Theorem 5.1 plus the per-rule heuristics;
+    ``stratified`` adds refined-graph pruning and the combined
+    non-increasing fixpoint; ``critical`` additionally runs the
+    critical-instance saturation and, for still-undischarged cycles,
+    searches for a concrete non-termination witness. Layers are tried
+    weakest-first, so each verdict names the cheapest analyzer that
+    discharges its cycle and the mode hierarchy is monotone.
+    """
+    if mode not in TERMINATION_MODES:
+        raise AnalysisError(f"unknown termination mode {mode!r}")
+    if definitions is None:
+        definitions = DerivedDefinitions(ruleset)
+    analyzer = TerminationAnalyzer(definitions)
+    for rule in certified:
+        analyzer.certify_rule(rule)
+    base = analyzer.analyze()
+
+    stratification = None
+    critical = None
+    strata: dict[str, int] = {}
+    pruned: list[tuple[str, str, str]] = []
+    if mode in ("stratified", "critical"):
+        from repro.analysis.stratification import StratificationAnalyzer
+
+        stratification = StratificationAnalyzer(definitions).analyze()
+        strata = dict(stratification.strata)
+        pruned = [
+            (edge.source, edge.target, edge.reason)
+            for edge in stratification.pruned_edges
+        ]
+    if mode == "critical":
+        from repro.analysis.critical import CriticalInstanceAnalyzer
+
+        critical = CriticalInstanceAnalyzer(ruleset, definitions).analyze()
+
+    reduced_cyclic = base.uncertified_components
+    verdicts: list[ComponentVerdict] = []
+    for component in sorted(base.cyclic_components, key=sorted):
+        members = tuple(sorted(component))
+        stratum = _component_stratum(component, strata)
+
+        # Layer 0: user certification (removal of certified rules broke
+        # every cycle of this component).
+        if analyzer.certified_rules and not any(
+            reduced <= component for reduced in reduced_cyclic
+        ):
+            verdicts.append(
+                ComponentVerdict(
+                    members,
+                    VERDICT_USER,
+                    certified_rules=tuple(
+                        sorted(component & analyzer.certified_rules)
+                    ),
+                    stratum=stratum,
+                    detail="user-certified rules break every cycle",
+                )
+            )
+            continue
+
+        # Layer 1: the paper's per-rule heuristics on the original graph.
+        simple = None
+        for label, rules in (
+            (ANALYZER_DELETE_ONLY, analyzer.auto_certifiable_rules(component)),
+            (
+                ANALYZER_MONOTONIC,
+                analyzer.auto_certifiable_monotonic_rules(component),
+            ),
+        ):
+            if not rules:
+                continue
+            remaining = analyzer.graph.restricted_to(component - rules)
+            if not remaining.cyclic_components():
+                simple = (label, rules)
+                break
+        if simple is not None:
+            label, rules = simple
+            verdicts.append(
+                ComponentVerdict(
+                    members,
+                    VERDICT_AUTO,
+                    analyzer=label,
+                    certified_rules=tuple(sorted(rules)),
+                    stratum=stratum,
+                    detail=f"{label} rules break every cycle",
+                )
+            )
+            continue
+
+        # Layer 2: refined graph + combined non-increasing fixpoint.
+        if stratification is not None:
+            discharged = stratification.certify_component(component, analyzer)
+            if discharged is not None:
+                verdicts.append(
+                    ComponentVerdict(
+                        members,
+                        VERDICT_AUTO,
+                        analyzer=ANALYZER_STRATIFIED,
+                        certified_rules=tuple(sorted(discharged.rules)),
+                        stratum=stratum,
+                        detail=discharged.detail,
+                    )
+                )
+                continue
+
+        # Layer 3: critical-instance tail saturation.
+        if critical is not None:
+            discharged = critical.certify_component(
+                component, stratification, analyzer
+            )
+            if discharged is not None:
+                verdicts.append(
+                    ComponentVerdict(
+                        members,
+                        VERDICT_AUTO,
+                        analyzer=ANALYZER_CRITICAL,
+                        certified_rules=tuple(sorted(discharged.rules)),
+                        stratum=stratum,
+                        detail=discharged.detail,
+                    )
+                )
+                continue
+
+        # Layer 4: look for a concrete non-termination witness.
+        if mode == "critical" and find_witnesses:
+            from repro.analysis.critical import find_witness
+
+            witness = find_witness(
+                ruleset,
+                component,
+                rules_source=rules_source,
+                max_states=witness_max_states,
+                max_steps=witness_max_steps,
+            )
+            if witness is not None:
+                verdicts.append(
+                    ComponentVerdict(
+                        members,
+                        VERDICT_WITNESS,
+                        stratum=stratum,
+                        detail=witness.detail,
+                        witness=witness,
+                    )
+                )
+                continue
+
+        verdicts.append(
+            ComponentVerdict(
+                members,
+                VERDICT_UNKNOWN,
+                stratum=stratum,
+                detail="no analyzer in this mode discharges the cycle",
+            )
+        )
+
+    return TerminationReport(
+        mode=mode,
+        verdicts=verdicts,
+        strata=strata,
+        pruned_edges=pruned,
+        base=base,
+    )
 
 
 def _component_interferes(

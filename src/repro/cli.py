@@ -127,6 +127,23 @@ def build_parser() -> argparse.ArgumentParser:
         "strictly pruning and sound)",
     )
     parser.add_argument(
+        "--termination",
+        choices=("tg", "stratified", "critical"),
+        default="tg",
+        help="termination analysis depth — 'tg' (plain Theorem 5.1 "
+        "triggering-graph acyclicity, the default), 'stratified' "
+        "(refined-graph edge pruning plus the stratification "
+        "fixpoint), or 'critical' (additionally the critical-instance "
+        "abstraction and a concrete non-termination witness search)",
+    )
+    parser.add_argument(
+        "--witness-out",
+        metavar="FILE.json",
+        help="with --termination critical: write any non-termination "
+        "witnesses (seed statements + looping trace, replayable via "
+        "`repro replay-witness`) as JSON to FILE.json",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="also print violations and repair suggestions",
@@ -228,7 +245,8 @@ def main(argv: list[str] | None = None) -> int:
         started = time.perf_counter()
         schema = load_schema(args.schema)
         with open(args.rules) as handle:
-            ruleset = RuleSet.parse(handle.read(), schema)
+            rules_text = handle.read()
+        ruleset = RuleSet.parse(rules_text, schema)
         profile["parse"] = time.perf_counter() - started
 
         analyzer = RuleAnalyzer(ruleset, column_dataflow=args.dataflow)
@@ -247,7 +265,11 @@ def main(argv: list[str] | None = None) -> int:
                 [table.strip() for table in args.tables.split(",")]
             )
         started = time.perf_counter()
-        report = analyzer.analyze(tables=table_groups)
+        report = analyzer.analyze(
+            tables=table_groups,
+            termination_mode=args.termination,
+            rules_source=rules_text,
+        )
         profile["pair_analysis"] = time.perf_counter() - started
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -273,6 +295,24 @@ def main(argv: list[str] | None = None) -> int:
         if args.verbose:
             _print_details(report)
 
+    layered = report.termination_report
+    if args.witness_out:
+        import json
+
+        witnesses = layered.witnesses() if layered is not None else []
+        with open(args.witness_out, "w") as handle:
+            json.dump(
+                [witness.to_dict() for witness in witnesses],
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        print(
+            f"{len(witnesses)} non-termination witness(es) written to "
+            f"{args.witness_out}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
+
     if args.dot:
         from repro.analysis.graphviz import triggering_graph_dot
 
@@ -282,6 +322,16 @@ def main(argv: list[str] | None = None) -> int:
             for rules in termination.auto_certifiable.values()
             for rule in rules
         )
+        witness_rules: frozenset[str] = frozenset()
+        strata = None
+        if layered is not None:
+            strata = layered.strata or None
+            witness_rules = frozenset(
+                rule
+                for verdict in layered.verdicts
+                if verdict.witness is not None
+                for rule in verdict.component
+            )
         with open(args.dot, "w") as handle:
             handle.write(
                 triggering_graph_dot(
@@ -291,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
                     certified_pairs=analyzer.engine.certified_commutes,
                     suggested=suggested,
                     legend=True,
+                    strata=strata,
+                    witness_rules=witness_rules,
                 )
             )
         print(
@@ -556,8 +608,31 @@ def _print_profile(profile: dict) -> None:
 
 
 def _print_details(report) -> None:
+    layered = report.termination_report
+    if layered is not None and layered.verdicts:
+        print(f"\nper-cycle termination verdicts [{layered.mode}]:")
+        for verdict in layered.verdicts:
+            members = ", ".join(sorted(verdict.component))
+            stratum = (
+                f", stratum {verdict.stratum}"
+                if verdict.stratum is not None
+                else ""
+            )
+            print(f"  {{{members}}}: {verdict.label()}{stratum}")
+            if verdict.detail:
+                print(f"    {verdict.detail}")
+            if verdict.witness is not None:
+                trace = " -> ".join(verdict.witness.trace)
+                print(f"    witness trace: {trace}")
+        if layered.pruned_edges:
+            print("refined-graph edges pruned:")
+            for source, target, reason in layered.pruned_edges:
+                print(f"  {source} -> {target}: {reason}")
+
     termination = report.termination
-    if not termination.guaranteed:
+    if not termination.guaranteed and (
+        layered is None or not layered.terminates
+    ):
         print("\ntriggering-graph cycles (certify a rule on each to proceed):")
         for component in termination.uncertified_components:
             members = ", ".join(sorted(component))
@@ -657,6 +732,49 @@ def build_repro_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("args", nargs=argparse.REMAINDER)
 
+    replay = commands.add_parser(
+        "replay-witness",
+        help="re-execute a non-termination witness and verify it loops",
+        description=(
+            "Replay non-termination witnesses produced by "
+            "starburst-analyze --termination critical --witness-out "
+            "FILE.json. Each witness embeds its schema, seed "
+            "statements, and looping trace; a state-cycle witness must "
+            "return to an identical processor state after one cycle, a "
+            "pumped-growth witness must keep growing the database by a "
+            "constant non-zero delta per pump round. Exits 0 when every "
+            "witness replays to a genuine loop, 1 when any fails to, "
+            "2 on load errors."
+        ),
+    )
+    replay.add_argument(
+        "witness",
+        help="witness JSON file (one witness object or a list of them)",
+    )
+    replay.add_argument(
+        "--rules",
+        help="rule file to replay against (default: the rules text "
+        "embedded in the witness)",
+    )
+    replay.add_argument(
+        "--schema",
+        help="schema spec file (default: the spec embedded in the "
+        "witness)",
+    )
+    replay.add_argument(
+        "--periods",
+        type=int,
+        default=4,
+        metavar="N",
+        help="pump rounds to verify for pumped-growth witnesses "
+        "(default 4)",
+    )
+    replay.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the replay results as JSON",
+    )
+
     recover = commands.add_parser(
         "recover",
         help="replay the committed prefix of a write-ahead log",
@@ -737,6 +855,73 @@ def _run_lint(args) -> int:
     return 1 if report.has_errors else 0
 
 
+def _run_replay_witness(args) -> int:
+    import json
+
+    from repro.analysis.critical import Witness, replay_witness
+
+    try:
+        with open(args.witness) as handle:
+            payload = json.load(handle)
+        entries = payload if isinstance(payload, list) else [payload]
+        witnesses = [Witness.from_dict(entry) for entry in entries]
+        ruleset = None
+        if args.rules:
+            if args.schema:
+                schema = load_schema(args.schema)
+            elif witnesses:
+                schema = schema_from_spec(witnesses[0].schema_spec)
+            else:
+                raise ReproError(
+                    "--rules needs --schema when the witness file is empty"
+                )
+            with open(args.rules) as handle:
+                ruleset = RuleSet.parse(handle.read(), schema)
+    except (ReproError, OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    outcomes = []
+    for witness in witnesses:
+        result = replay_witness(
+            witness, ruleset=ruleset, periods=args.periods
+        )
+        outcomes.append((witness, result))
+
+    all_valid = all(result.valid for __, result in outcomes)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "witnesses": len(outcomes),
+                    "all_valid": all_valid,
+                    "results": [
+                        {
+                            "kind": witness.kind,
+                            "component": list(witness.component),
+                            "valid": result.valid,
+                            "reason": result.reason,
+                            "steps": result.steps,
+                        }
+                        for witness, result in outcomes
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        if not outcomes:
+            print("no witnesses to replay")
+        for witness, result in outcomes:
+            members = ", ".join(witness.component)
+            state = "LOOPS" if result.valid else "FAILED"
+            print(
+                f"{state}: {witness.kind} witness for {{{members}}} — "
+                f"{result.reason} ({result.steps} considerations)"
+            )
+    return 0 if all_valid else 1
+
+
 def _run_recover(args) -> int:
     from repro.engine.wal import recover_database
 
@@ -787,6 +972,8 @@ def repro_main(argv: list[str] | None = None) -> int:
     args = build_repro_parser().parse_args(argv)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "replay-witness":
+        return _run_replay_witness(args)
     if args.command == "recover":
         return _run_recover(args)
     return main(args.args)

@@ -142,6 +142,7 @@ def lint_ruleset(
             name.lower() for name in certified_termination
         ),
         lines=rule_source_lines(source) if source else {},
+        source=source,
     )
     wanted = frozenset(only) if only is not None else None
     diagnostics: list[Diagnostic] = []

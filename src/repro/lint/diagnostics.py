@@ -99,6 +99,22 @@ DIAGNOSTIC_CODES: dict[str, CodeInfo] = {
             "bound table; the analysis conservatively charges all of "
             "them.",
         ),
+        CodeInfo(
+            "RPL009",
+            "auto-certified-cycle",
+            Severity.NOTE,
+            "Triggering cycle discharged automatically by the layered "
+            "termination analysis (delete-only, monotonic, stratified "
+            "or critical-instance); no user certification needed.",
+        ),
+        CodeInfo(
+            "RPL010",
+            "non-termination-witness",
+            Severity.ERROR,
+            "A concrete replayable looping run exists for this "
+            "triggering cycle: rule processing does not terminate "
+            "(witness trace attached).",
+        ),
     )
 }
 
@@ -119,6 +135,9 @@ class Diagnostic:
     rule: str | None
     message: str
     line: int | None = None
+    #: rule-consideration trace for executable findings (RPL010: the
+    #: witness prefix + cycle); rendered as a SARIF codeFlow
+    trace: tuple[str, ...] | None = None
 
     @property
     def info(self) -> CodeInfo:
@@ -133,7 +152,7 @@ class Diagnostic:
         )
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "code": self.code,
             "name": self.info.name,
             "severity": self.severity.value,
@@ -141,6 +160,9 @@ class Diagnostic:
             "message": self.message,
             "line": self.line,
         }
+        if self.trace is not None:
+            payload["trace"] = list(self.trace)
+        return payload
 
     def render(self, path: str | None = None) -> str:
         place = path or "<rules>"

@@ -1,4 +1,4 @@
-"""The registered lint passes (RPL001–RPL008).
+"""The registered lint passes (RPL001–RPL010).
 
 Each pass is a function from a :class:`LintContext` to an iterable of
 :class:`~repro.lint.diagnostics.Diagnostic`, registered under its
@@ -10,21 +10,29 @@ The passes deliberately reuse the analysis substrate rather than
 re-deriving it: RPL001 is Section 9 reachability
 (:func:`repro.analysis.restricted.reachable_rules`), RPL002 consumes
 the attribute-level ``Writes`` sets of
-:mod:`repro.analysis.dataflow`, RPL003/RPL007 ride on the
-:class:`~repro.analysis.termination.TerminationAnalyzer`, and
-RPL006/RPL008 mirror the column-resolution scoping of
-``derived._compute_reads`` — so what the linter reports is exactly what
-the analyses see (or silently ignore).
+:mod:`repro.analysis.dataflow`, RPL003 rides on the
+:class:`~repro.analysis.termination.TerminationAnalyzer`,
+RPL007/RPL009/RPL010 share one layered
+:class:`~repro.analysis.termination.TerminationReport` (critical mode,
+cached on the context), and RPL006/RPL008 mirror the column-resolution
+scoping of ``derived._compute_reads`` — so what the linter reports is
+exactly what the analyses see (or silently ignore).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator
 
 from repro.analysis.derived import DerivedDefinitions, _bind_table, _Scope
 from repro.analysis.restricted import reachable_rules
-from repro.analysis.termination import TerminationAnalyzer
+from repro.analysis.termination import (
+    VERDICT_AUTO,
+    VERDICT_WITNESS,
+    TerminationAnalyzer,
+    TerminationReport,
+    build_termination_report,
+)
 from repro.lang import ast
 from repro.lint.diagnostics import DIAGNOSTIC_CODES, Diagnostic
 from repro.lint.folding import unsatisfiable
@@ -47,6 +55,25 @@ class LintContext:
     certified_termination: frozenset[str] = frozenset()
     #: rule name -> 1-based line of its ``create rule`` in the source
     lines: dict[str, int] = field(default_factory=dict)
+    #: the linted source text, when available; witnesses embed it so
+    #: RPL010 findings replay standalone (``repro replay-witness``)
+    source: str | None = None
+    _termination_report: TerminationReport | None = field(
+        default=None, repr=False
+    )
+
+    def termination_report(self) -> TerminationReport:
+        """The layered critical-mode termination report, computed once
+        and shared by the RPL007/RPL009/RPL010 passes."""
+        if self._termination_report is None:
+            self._termination_report = build_termination_report(
+                self.ruleset,
+                mode="critical",
+                certified=tuple(sorted(self.certified_termination)),
+                definitions=self.definitions,
+                rules_source=self.source,
+            )
+        return self._termination_report
 
     def diagnostic(self, code: str, rule: str | None, message: str) -> Diagnostic:
         return Diagnostic(
@@ -376,26 +403,105 @@ def ambiguous_column_references(ctx: LintContext) -> Iterator[Diagnostic]:
 
 @lint_pass("RPL007")
 def suggested_cycle_certifications(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Certification suggestions for cycles the layered analysis could
+    NOT discharge. Components the stratified or critical-instance
+    layers certify automatically fire RPL009 instead; here each
+    suggestion names the analyzer that justifies it, the stratum the
+    rule occupies in the refined-graph condensation, and which members
+    remain entirely unjustified (the ones blocking auto-discharge)."""
+    report = ctx.termination_report()
     analyzer = TerminationAnalyzer(ctx.definitions)
     for name in sorted(ctx.certified_termination):
         if name in ctx.definitions.rule_names:
             analyzer.certify_rule(name)
-    analysis = analyzer.analyze()
-    for component in analysis.uncertified_components:
+    for verdict in report.verdicts:
+        if verdict.discharged:
+            continue
+        component = frozenset(verdict.component)
         members = "{" + ", ".join(sorted(component)) + "}"
         delete_only = analyzer.auto_certifiable_rules(component)
         monotonic = analyzer.auto_certifiable_monotonic_rules(component)
+        unjustified = sorted(component - delete_only - monotonic)
         for name in sorted(delete_only | monotonic):
-            heuristics = []
+            justifying = []
             if name in delete_only:
-                heuristics.append("delete-only")
+                justifying.append("delete-only")
             if name in monotonic:
-                heuristics.append("monotonic-update")
+                justifying.append("monotonic-update")
+            stratum = report.strata.get(name)
+            where = f" (stratum {stratum})" if stratum is not None else ""
+            remainder = (
+                f"; {{{', '.join(unjustified)}}} still need manual "
+                f"certification"
+                if unjustified
+                else ""
+            )
             yield ctx.diagnostic(
                 "RPL007",
                 name,
-                f"uncertified triggering cycle {members} could be "
-                f"discharged by certifying {name} "
-                f"({' and '.join(heuristics)} heuristic); pass "
+                f"triggering cycle {members} is {verdict.label()}: "
+                f"certifying {name}{where} is justified by the "
+                f"{' and '.join(justifying)} analyzer{remainder}; pass "
                 f"--certify-termination {name}",
             )
+
+
+# ----------------------------------------------------------------------
+# RPL009 — cycles the layered analysis discharges automatically
+# ----------------------------------------------------------------------
+
+
+@lint_pass("RPL009")
+def auto_certified_cycles(ctx: LintContext) -> Iterator[Diagnostic]:
+    """One NOTE per triggering cycle the layered termination analysis
+    certifies without user help (replacing the RPL007 suggestion that
+    the pre-layered linter would have emitted for it)."""
+    report = ctx.termination_report()
+    for verdict in report.verdicts:
+        if verdict.verdict != VERDICT_AUTO:
+            continue
+        members = "{" + ", ".join(sorted(verdict.component)) + "}"
+        stratum = (
+            f" (stratum {verdict.stratum})"
+            if verdict.stratum is not None
+            else ""
+        )
+        detail = f": {verdict.detail}" if verdict.detail else ""
+        yield ctx.diagnostic(
+            "RPL009",
+            min(verdict.component),
+            f"triggering cycle {members} auto-certified by the "
+            f"{verdict.analyzer} analyzer{stratum}{detail}; no "
+            f"--certify-termination needed",
+        )
+
+
+# ----------------------------------------------------------------------
+# RPL010 — replayable non-termination witnesses
+# ----------------------------------------------------------------------
+
+
+@lint_pass("RPL010")
+def non_termination_witnesses(ctx: LintContext) -> Iterator[Diagnostic]:
+    """One ERROR per cycle with a validated concrete looping run. The
+    witness trace rides on the diagnostic (SARIF ``codeFlows``); the
+    full witness — seed statements included — is in the analyzer's
+    JSON report and replays via ``repro replay-witness``."""
+    report = ctx.termination_report()
+    for verdict in report.verdicts:
+        if verdict.verdict != VERDICT_WITNESS or verdict.witness is None:
+            continue
+        witness = verdict.witness
+        members = "{" + ", ".join(sorted(verdict.component)) + "}"
+        anchor = (
+            witness.cycle[0] if witness.cycle else min(verdict.component)
+        )
+        loop = " -> ".join(witness.cycle)
+        diagnostic = ctx.diagnostic(
+            "RPL010",
+            anchor,
+            f"rule processing does not terminate: cycle {members} has "
+            f"a replayable {witness.kind} witness looping on [{loop}]; "
+            f"replay it with `repro replay-witness`",
+        )
+        yield replace(diagnostic, trace=witness.trace)

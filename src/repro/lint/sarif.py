@@ -52,6 +52,36 @@ def to_sarif(
             ]
         if location:
             result["locations"] = [location]
+        if diagnostic.trace is not None:
+            # Executable findings (RPL010 non-termination witnesses)
+            # carry the rule-consideration trace as a codeFlow so
+            # code-scanning UIs can step through the looping run.
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": {
+                                        "logicalLocations": [
+                                            {"name": rule, "kind": "rule"}
+                                        ],
+                                        "message": {
+                                            "text": (
+                                                f"step {step}: "
+                                                f"consider {rule}"
+                                            )
+                                        },
+                                    }
+                                }
+                                for step, rule in enumerate(
+                                    diagnostic.trace, start=1
+                                )
+                            ]
+                        }
+                    ]
+                }
+            ]
         results.append(result)
 
     return {

@@ -21,9 +21,10 @@ class PriorityRelation:
             raise RuleError("duplicate rule names in priority relation")
         #: direct edges: higher -> set of lower
         self._direct: dict[str, set[str]] = {name: set() for name in self._names}
-        #: transitive closure, rebuilt on change
-        self._closure: dict[str, frozenset[str]] = {}
-        self._rebuild_closure()
+        #: transitive closure: higher -> every lower it precedes
+        self._closure: dict[str, set[str]] = {name: set() for name in self._names}
+        #: inverse closure: lower -> every higher that precedes it
+        self._above: dict[str, set[str]] = {name: set() for name in self._names}
 
     # ------------------------------------------------------------------
     # Construction
@@ -38,13 +39,22 @@ class PriorityRelation:
                 raise RuleError(f"unknown rule {name!r} in priority ordering")
         if higher == lower:
             raise PriorityCycleError([higher, lower])
-        self._direct[higher].add(lower)
-        try:
-            self._rebuild_closure()
-        except PriorityCycleError:
+        if higher in self._closure[lower]:
+            # The new edge would close a cycle; borrow it briefly so the
+            # direct graph contains the loop to report, then restore.
+            self._direct[higher].add(lower)
+            cycle = self._find_cycle(higher)
             self._direct[higher].discard(lower)
-            self._rebuild_closure()
-            raise
+            raise PriorityCycleError(cycle)
+        self._direct[higher].add(lower)
+        # Incremental closure update: the edge adds exactly the pairs
+        # (a, b) for a above-or-equal *higher*, b below-or-equal *lower*.
+        new_above = {higher} | self._above[higher]
+        new_below = {lower} | self._closure[lower]
+        for name in new_above:
+            self._closure[name] |= new_below
+        for name in new_below:
+            self._above[name] |= new_above
 
     def remove_ordering(self, higher: str, lower: str) -> bool:
         """Remove a *direct* ordering; returns True if one was present.
@@ -64,25 +74,54 @@ class PriorityRelation:
     def copy(self) -> "PriorityRelation":
         clone = PriorityRelation(list(self._names))
         clone._direct = {name: set(lower) for name, lower in self._direct.items()}
-        clone._rebuild_closure()
+        clone._closure = {name: set(low) for name, low in self._closure.items()}
+        clone._above = {name: set(high) for name, high in self._above.items()}
         return clone
 
     def _rebuild_closure(self) -> None:
+        """Recompute the closure from the direct edges (memoized DFS).
+
+        ``add_ordering`` maintains the closure incrementally; this full
+        rebuild only runs after edge *removal*, where implied pairs may
+        have to disappear. Each node's reachable set is computed once,
+        in reverse-finish order, so the whole pass is O(V·E) set unions
+        rather than one traversal per start node.
+        """
+        ACTIVE, DONE = 1, 2
         closure: dict[str, set[str]] = {}
-        for start in self._names:
-            reached: set[str] = set()
-            stack = list(self._direct[start])
+        state: dict[str, int] = {}
+        for root in self._names:
+            if state.get(root) == DONE:
+                continue
+            state[root] = ACTIVE
+            closure[root] = set()
+            stack = [(root, iter(self._direct[root]))]
             while stack:
-                node = stack.pop()
-                if node in reached:
-                    continue
-                reached.add(node)
-                stack.extend(self._direct[node])
-            if start in reached:
-                cycle = self._find_cycle(start)
-                raise PriorityCycleError(cycle)
-            closure[start] = reached
-        self._closure = {name: frozenset(low) for name, low in closure.items()}
+                node, successors = stack[-1]
+                for succ in successors:
+                    if state.get(succ) == ACTIVE:
+                        raise PriorityCycleError(self._find_cycle(succ))
+                    if state.get(succ) == DONE:
+                        closure[node].add(succ)
+                        closure[node] |= closure[succ]
+                        continue
+                    state[succ] = ACTIVE
+                    closure[succ] = set()
+                    stack.append((succ, iter(self._direct[succ])))
+                    break
+                else:
+                    state[node] = DONE
+                    stack.pop()
+                    if stack:
+                        parent = stack[-1][0]
+                        closure[parent].add(node)
+                        closure[parent] |= closure[node]
+        self._closure = closure
+        above: dict[str, set[str]] = {name: set() for name in self._names}
+        for high, lowers in closure.items():
+            for low in lowers:
+                above[low].add(high)
+        self._above = above
 
     def _find_cycle(self, start: str) -> list[str]:
         path = [start]
@@ -127,7 +166,7 @@ class PriorityRelation:
 
     def lower_than(self, name: str) -> frozenset[str]:
         """All rules that *name* has precedence over."""
-        return self._closure.get(name.lower(), frozenset())
+        return frozenset(self._closure.get(name.lower(), ()))
 
     def pairs(self) -> frozenset[tuple[str, str]]:
         """``P`` as a set of (higher, lower) pairs, closed transitively."""

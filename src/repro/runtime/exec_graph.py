@@ -91,6 +91,45 @@ class ExecutionGraph:
         by the explorer's budget — partial iff ``streams_truncated``)."""
         return self._path_count
 
+    def looping_path(self) -> tuple[tuple[str, ...], tuple[str, ...]] | None:
+        """A concrete path witnessing ``has_cycle``.
+
+        Returns ``(prefix, cycle)``: rule labels leading from the
+        initial state to some state ``s``, then labels returning to
+        ``s``. Replaying ``prefix`` followed by ``cycle`` repeatedly is
+        an infinite execution. ``None`` when no reachable cycle exists.
+        """
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[tuple, int] = {}
+        position: dict[tuple, int] = {}
+        labels: list[str] = []
+        if self.initial not in self.edges:
+            return None
+        stack: list[tuple[tuple, int]] = [(self.initial, 0)]
+        color[self.initial] = GRAY
+        position[self.initial] = 0
+        while stack:
+            node, index = stack[-1]
+            successors = self.edges.get(node, [])
+            if index < len(successors):
+                stack[-1] = (node, index + 1)
+                label, child = successors[index]
+                child_color = color.get(child, WHITE)
+                if child_color == GRAY:
+                    split = position[child]
+                    return tuple(labels[:split]), tuple(labels[split:] + [label])
+                if child_color == WHITE and child in self.edges:
+                    color[child] = GRAY
+                    labels.append(label)
+                    position[child] = len(labels)
+                    stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+                if stack:
+                    labels.pop()
+        return None
+
     def stats(self) -> dict:
         """Exploration counters, machine-readable (the CLI ``--json``
         surface; mirrors the analysis engine's stats section)."""

@@ -1,0 +1,147 @@
+"""Refined-graph pruning and the stratification fixpoint."""
+
+import pytest
+
+from repro.analysis.derived import DerivedDefinitions
+from repro.analysis.stratification import (
+    StratificationAnalyzer,
+    confined_transition_conjuncts,
+)
+from repro.analysis.termination import TerminationAnalyzer
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"a": ["x"], "b": ["x"], "c": ["x"]})
+
+
+def analyzed(source, schema):
+    definitions = DerivedDefinitions(RuleSet.parse(source, schema))
+    return definitions, StratificationAnalyzer(definitions).analyze()
+
+
+REFUTABLE = """
+create rule feed on a when inserted
+then insert into b values (1)
+
+create rule guard on b when inserted
+if exists (select * from inserted where x > 5)
+then insert into a values (9)
+"""
+
+
+class TestConfinedConjuncts:
+    def test_transition_exists_is_confined(self, schema):
+        ruleset = RuleSet.parse(REFUTABLE, schema)
+        conjuncts = confined_transition_conjuncts(ruleset.rule("guard"))
+        assert len(conjuncts) == 1
+        assert conjuncts[0].kind == "inserted"
+        assert conjuncts[0].columns == frozenset({"x"})
+
+    def test_base_table_exists_is_not_confined(self, schema):
+        source = """
+        create rule r on a when inserted
+        if exists (select * from b where x > 5)
+        then insert into a values (1)
+        """
+        ruleset = RuleSet.parse(source, schema)
+        assert confined_transition_conjuncts(ruleset.rule("r")) == ()
+
+    def test_negated_exists_is_not_confined(self, schema):
+        source = """
+        create rule r on a when inserted
+        if not exists (select * from inserted where x > 5)
+        then insert into a values (1)
+        """
+        ruleset = RuleSet.parse(source, schema)
+        assert confined_transition_conjuncts(ruleset.rule("r")) == ()
+
+
+class TestRefinedGraphPruning:
+    def test_refuted_literal_write_prunes_edge(self, schema):
+        # feed only ever inserts x = 1; guard's transition conjunct
+        # demands x > 5, so the feed -> guard edge is refuted.
+        __, analysis = analyzed(REFUTABLE, schema)
+        pruned = {(e.source, e.target) for e in analysis.pruned_edges}
+        assert ("feed", "guard") in pruned
+        assert not analysis.refined.restricted_to(
+            frozenset({"feed", "guard"})
+        ).cyclic_components()
+
+    def test_pruned_edge_carries_reason(self, schema):
+        __, analysis = analyzed(REFUTABLE, schema)
+        edge = next(
+            e
+            for e in analysis.pruned_edges
+            if (e.source, e.target) == ("feed", "guard")
+        )
+        assert edge.reason
+
+    def test_satisfiable_write_keeps_edge(self, schema):
+        source = REFUTABLE.replace("values (1)", "values (7)")
+        __, analysis = analyzed(source, schema)
+        pruned = {(e.source, e.target) for e in analysis.pruned_edges}
+        assert ("feed", "guard") not in pruned
+
+    def test_second_updater_defeats_attribution(self, schema):
+        # With another rule updating b.x, guard's inserted-conjunct can
+        # no longer be attributed to feed's literal insert alone.
+        source = REFUTABLE + """
+create rule bump on c when inserted
+then update b set x = 9
+"""
+        __, analysis = analyzed(source, schema)
+        pruned = {(e.source, e.target) for e in analysis.pruned_edges}
+        assert ("feed", "guard") not in pruned
+
+    def test_strata_follow_refined_topology(self, schema):
+        __, analysis = analyzed(REFUTABLE, schema)
+        # With feed -> guard refuted, guard -> feed remains: guard's
+        # stratum precedes feed's.
+        assert analysis.strata["guard"] < analysis.strata["feed"]
+
+
+class TestCertifyComponentFixpoint:
+    def test_refined_acyclic_component_is_discharged(self, schema):
+        definitions, analysis = analyzed(REFUTABLE, schema)
+        analyzer = TerminationAnalyzer(definitions)
+        discharge = analysis.certify_component(
+            frozenset({"feed", "guard"}), analyzer
+        )
+        assert discharge is not None
+        assert "pruned" in discharge.detail
+
+    def test_fixpoint_iterates_heuristic_removal(self, schema):
+        # eat qualifies as delete-only only w.r.t. the component left
+        # after the first removal round — a one-shot heuristic pass
+        # cannot discharge this component.
+        source = """
+        create rule seed on a when inserted, deleted
+        then insert into b values (1)
+
+        create rule eat on b when inserted
+        then delete from a where x = 1
+
+        create rule echo on b when inserted
+        if exists (select * from inserted where x > 5)
+        then insert into b values (2)
+        """
+        definitions, analysis = analyzed(source, schema)
+        analyzer = TerminationAnalyzer(definitions)
+        component = frozenset({"seed", "eat", "echo"})
+        discharge = analysis.certify_component(component, analyzer)
+        assert discharge is not None
+
+    def test_genuine_cycle_is_not_discharged(self, schema):
+        source = """
+        create rule storm on a when inserted
+        then insert into a values (1)
+        """
+        definitions, analysis = analyzed(source, schema)
+        analyzer = TerminationAnalyzer(definitions)
+        assert (
+            analysis.certify_component(frozenset({"storm"}), analyzer)
+            is None
+        )

@@ -3,7 +3,16 @@
 import pytest
 
 from repro.analysis.derived import DerivedDefinitions
-from repro.analysis.termination import TerminationAnalyzer, TriggeringGraph
+from repro.analysis.termination import (
+    ANALYZER_STRATIFIED,
+    VERDICT_UNKNOWN,
+    VERDICT_USER,
+    VERDICT_WITNESS,
+    TerminationAnalyzer,
+    TerminationReport,
+    TriggeringGraph,
+    build_termination_report,
+)
 from repro.errors import AnalysisError
 from repro.rules.ruleset import RuleSet
 from repro.schema.catalog import schema_from_spec
@@ -168,3 +177,95 @@ class TestDeleteOnlyHeuristic:
         if analysis.cyclic_components:
             for rules in analysis.auto_certifiable.values():
                 assert "r1" not in rules
+
+
+class TestElementaryCyclesScale:
+    def test_iterative_on_5000_node_graph(self):
+        # A single 5,000-node cycle: the recursive formulation would
+        # exceed Python's recursion limit; the iterative one must not.
+        n = 5_000
+        nodes = [f"n{i}" for i in range(n)]
+        successors = {
+            f"n{i}": frozenset({f"n{(i + 1) % n}"}) for i in range(n)
+        }
+        graph = TriggeringGraph.from_successors(nodes, successors)
+        assert graph.cyclic_components() == [frozenset(nodes)]
+        cycles = graph.elementary_cycles()
+        assert len(cycles) == 1
+        assert len(cycles[0]) == n
+        assert set(cycles[0]) == set(nodes)
+
+
+STRATIFIED_PAIR = """
+create rule feed on a when inserted
+then insert into b values (1)
+
+create rule guard on b when inserted
+if exists (select * from inserted where x > 5)
+then insert into a values (9)
+"""
+
+GROWER = """
+create rule storm on a when inserted
+then insert into a values (1)
+"""
+
+
+class TestLayeredReport:
+    def test_tg_mode_reports_unknown_for_plain_cycle(self, schema):
+        ruleset = RuleSet.parse(CYCLE, schema)
+        report = build_termination_report(ruleset, mode="tg")
+        assert not report.terminates
+        verdict = report.verdict_for("r1")
+        assert verdict.verdict == VERDICT_UNKNOWN
+
+    def test_mode_hierarchy_is_monotone_on_refutable_cycle(self, schema):
+        ruleset = RuleSet.parse(STRATIFIED_PAIR, schema)
+        tg = build_termination_report(ruleset, mode="tg")
+        stratified = build_termination_report(ruleset, mode="stratified")
+        critical = build_termination_report(ruleset, mode="critical")
+        assert not tg.terminates
+        assert stratified.terminates
+        assert critical.terminates
+        verdict = stratified.verdict_for("feed")
+        assert verdict.analyzer == ANALYZER_STRATIFIED
+        # The layered analysis tries cheap analyzers first, so the
+        # critical mode settles on the same (cheaper) analyzer.
+        assert (
+            critical.verdict_for("feed").analyzer
+            == ANALYZER_STRATIFIED
+        )
+
+    def test_user_certification_is_layer_zero(self, schema):
+        ruleset = RuleSet.parse(CYCLE, schema)
+        report = build_termination_report(
+            ruleset, mode="stratified", certified=("r1",)
+        )
+        assert report.terminates
+        verdict = report.verdict_for("r1")
+        assert verdict.verdict == VERDICT_USER
+        assert verdict.certified_rules == ("r1",)
+
+    def test_witness_only_in_critical_mode(self, schema):
+        ruleset = RuleSet.parse(GROWER, schema)
+        stratified = build_termination_report(ruleset, mode="stratified")
+        critical = build_termination_report(ruleset, mode="critical")
+        assert stratified.verdict_for("storm").verdict == VERDICT_UNKNOWN
+        assert critical.has_witness
+        assert critical.verdict_for("storm").verdict == VERDICT_WITNESS
+
+    def test_report_round_trips_through_dict(self, schema):
+        ruleset = RuleSet.parse(GROWER, schema)
+        report = build_termination_report(ruleset, mode="critical")
+        clone = TerminationReport.from_dict(report.to_dict())
+        assert clone.mode == report.mode
+        assert clone.terminates == report.terminates
+        assert [v.label() for v in clone.verdicts] == [
+            v.label() for v in report.verdicts
+        ]
+        assert clone.witnesses()[0].cycle == report.witnesses()[0].cycle
+
+    def test_unknown_mode_raises(self, schema):
+        ruleset = RuleSet.parse(CYCLE, schema)
+        with pytest.raises(AnalysisError):
+            build_termination_report(ruleset, mode="chase")

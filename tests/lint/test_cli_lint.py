@@ -77,7 +77,11 @@ class TestLintExitCodes:
         assert code == 0
         out = capsys.readouterr().out
         assert "RPL003" in out
-        assert "RPL007" in out
+        # The layered analysis discharges the delete-only self-loop,
+        # so the linter reports an auto-certification instead of an
+        # RPL007 suggestion.
+        assert "RPL009" in out
+        assert "RPL007" not in out
 
     def test_missing_rules_file_exits_two(self, files, capsys):
         code = repro_main(
@@ -150,12 +154,12 @@ class TestLintOptions:
                 "--schema",
                 files("s.txt", SCHEMA),
                 "--select",
-                "rpl007",
+                "rpl009",
             ]
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "RPL007" in out
+        assert "RPL009" in out
         assert "RPL003" not in out
 
     def test_certify_termination(self, files, capsys):

@@ -69,10 +69,35 @@ class TestSeededFixture:
         assert by_code["RPL006"] == {"unreachable"}
         assert by_code["RPL008"] == {"unreachable"}
         assert by_code["RPL002"] == {"dead_writer"}
-        assert by_code["RPL003"] == {"self_cleaner"}
-        assert by_code["RPL007"] == {"self_cleaner"}
+        assert by_code["RPL003"] == {
+            "self_cleaner",
+            "queue_pump",
+            "audit_storm",
+        }
+        assert by_code["RPL007"] == {"queue_trim"}
+        assert by_code["RPL009"] == {"self_cleaner"}
+        assert by_code["RPL010"] == {"audit_storm"}
         assert by_code["RPL005"] == {"prio_a"}
         assert "unreachable" in by_code["RPL001"]
+
+    def test_rpl007_names_analyzer_and_stratum(self, fixture_report):
+        (suggestion,) = [
+            diagnostic
+            for diagnostic in fixture_report.diagnostics
+            if diagnostic.code == "RPL007"
+        ]
+        assert "delete-only analyzer" in suggestion.message
+        assert "stratum" in suggestion.message
+        assert "still need manual certification" in suggestion.message
+
+    def test_rpl010_carries_replayable_trace(self, fixture_report):
+        (witness,) = [
+            diagnostic
+            for diagnostic in fixture_report.diagnostics
+            if diagnostic.code == "RPL010"
+        ]
+        assert witness.trace is not None
+        assert "audit_storm" in witness.trace
 
     def test_lines_point_at_create_rule(self, fixture_report):
         source, __ = load_fixture("all_codes")
@@ -157,9 +182,14 @@ class TestPassBehavior:
             create rule a on t when deleted
             then delete from t where v = 0
             """
-        assert {"RPL003", "RPL007"} <= codes_of(lint_source(source))
+        # The layered analysis auto-certifies the delete-only self-loop
+        # (RPL009) instead of suggesting a certification (RPL007).
+        assert {"RPL003", "RPL009"} <= codes_of(lint_source(source))
+        assert "RPL007" not in codes_of(lint_source(source))
         certified = lint_source(source, certified_termination=["a"])
-        assert {"RPL003", "RPL007"}.isdisjoint(codes_of(certified))
+        assert {"RPL003", "RPL007", "RPL009"}.isdisjoint(
+            codes_of(certified)
+        )
 
     def test_rpl004_three_valued_folding(self):
         report = lint_source(
@@ -242,7 +272,7 @@ class TestOutputFormats:
     def test_json_round_trip(self, fixture_report):
         payload = json.loads(json.dumps(fixture_report.to_json_dict()))
         assert payload["path"] == "all_codes.rules"
-        assert payload["summary"]["error"] == 3
+        assert payload["summary"]["error"] == 4
         assert len(payload["diagnostics"]) == len(fixture_report.diagnostics)
         assert all(
             d["code"] in DIAGNOSTIC_CODES for d in payload["diagnostics"]
@@ -272,10 +302,26 @@ class TestOutputFormats:
             (logical,) = location["logicalLocations"]
             assert logical["kind"] == "rule"
 
+    def test_sarif_code_flow_for_witness(self, fixture_report):
+        log = fixture_report.to_sarif()
+        flows = [
+            result
+            for result in log["runs"][0]["results"]
+            if "codeFlows" in result
+        ]
+        assert flows and all(r["ruleId"] == "RPL010" for r in flows)
+        locations = flows[0]["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert locations
+        for step, entry in enumerate(locations, start=1):
+            location = entry["location"]
+            (logical,) = location["logicalLocations"]
+            assert logical["kind"] == "rule"
+            assert location["message"]["text"].startswith(f"step {step}:")
+
     def test_text_summary_line(self, fixture_report):
         text = fixture_report.render_text()
         assert text.splitlines()[-1].endswith(
-            "3 error(s), 6 warning(s), 1 note(s)"
+            "4 error(s), 11 warning(s), 2 note(s)"
         )
 
     def test_severity_levels_match_registry(self, fixture_report):

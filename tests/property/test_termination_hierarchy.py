@@ -1,0 +1,103 @@
+"""The layered termination analysis is a monotone hierarchy.
+
+Over generated rule sets: a rule set certified at a weak mode stays
+certified at every stronger mode, witnesses always replay to genuine
+loops, and no component is ever both auto-certified and witnessed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import seed as hypothesis_seed
+from hypothesis import strategies as st
+
+from tests.seeding import derive_seed
+
+from repro.analysis.critical import replay_witness
+from repro.analysis.termination import (
+    VERDICT_AUTO,
+    VERDICT_WITNESS,
+    build_termination_report,
+)
+from repro.rules.ruleset import RuleSet
+from repro.workloads.generator import GeneratorConfig, RandomRuleSetGenerator
+
+CONFIG = GeneratorConfig(
+    n_tables=3, n_columns=2, n_rules=6, p_cross_table=0.7, p_condition=0.7
+)
+
+MODES = ("tg", "stratified", "critical")
+
+
+def generated(seed: int) -> RuleSet:
+    seed = derive_seed("termination-hierarchy", seed)
+    return RandomRuleSetGenerator(CONFIG, seed=seed).generate()
+
+
+def reports(ruleset):
+    return {
+        mode: build_termination_report(
+            ruleset,
+            mode=mode,
+            witness_max_states=120,
+            witness_max_steps=100,
+        )
+        for mode in MODES
+    }
+
+
+@hypothesis_seed(derive_seed("termination-hierarchy", "monotone"))
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_certification_is_monotone_across_modes(seed):
+    ruleset = generated(seed)
+    by_mode = reports(ruleset)
+    # Whole-set guarantee: tg-certified => stratified => critical.
+    for weaker, stronger in zip(MODES, MODES[1:]):
+        if by_mode[weaker].terminates:
+            assert by_mode[stronger].terminates, (
+                f"set certified at {weaker} lost at {stronger} "
+                f"(seed {seed})"
+            )
+    # Per-component: a discharge never regresses at a stronger mode.
+    for weaker, stronger in zip(MODES, MODES[1:]):
+        for verdict in by_mode[weaker].verdicts:
+            if not verdict.discharged:
+                continue
+            member = verdict.component[0]
+            assert by_mode[stronger].verdict_for(member).discharged
+
+
+@hypothesis_seed(derive_seed("termination-hierarchy", "witnesses"))
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_every_witness_replays_to_a_loop(seed):
+    ruleset = generated(seed)
+    report = build_termination_report(
+        ruleset,
+        mode="critical",
+        witness_max_states=120,
+        witness_max_steps=100,
+    )
+    for witness in report.witnesses():
+        result = replay_witness(witness, ruleset=ruleset)
+        assert result.valid, result.reason
+
+
+@hypothesis_seed(derive_seed("termination-hierarchy", "exclusive"))
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_no_component_is_both_certified_and_witnessed(seed):
+    ruleset = generated(seed)
+    by_mode = reports(ruleset)
+    witnessed = {
+        verdict.component
+        for verdict in by_mode["critical"].verdicts
+        if verdict.verdict == VERDICT_WITNESS
+    }
+    for report in by_mode.values():
+        for verdict in report.verdicts:
+            if verdict.verdict == VERDICT_AUTO:
+                assert verdict.component not in witnessed, (
+                    f"component {verdict.component} auto-certified by "
+                    f"{verdict.analyzer} but witnessed non-terminating "
+                    f"(seed {seed})"
+                )

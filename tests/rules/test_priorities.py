@@ -167,3 +167,54 @@ def test_pairs_and_unordered_pairs_partition(p):
         frozenset({a, b}) for a in _names for b in _names if a != b
     }
     assert ordered | unordered == all_pairs
+
+
+class TestIncrementalClosure:
+    def test_incremental_add_matches_full_rebuild(self):
+        import random
+
+        rng = random.Random(9)
+        names = [f"r{i}" for i in range(12)]
+        p = PriorityRelation(list(names))
+        for __ in range(30):
+            i, j = sorted(rng.sample(range(12), 2))
+            p.add_ordering(names[i], names[j])  # forward edge: acyclic
+        rebuilt = p.copy()
+        rebuilt._rebuild_closure()
+        assert p.pairs() == rebuilt.pairs()
+        assert p._above == rebuilt._above
+
+    def test_rejected_cycle_leaves_relation_unchanged(self):
+        p = PriorityRelation(["a", "b", "c"])
+        p.add_ordering("a", "b")
+        p.add_ordering("b", "c")
+        before = p.pairs()
+        with pytest.raises(PriorityCycleError):
+            p.add_ordering("c", "a")
+        assert p.pairs() == before
+        assert not p.has_precedence("c", "a")
+
+    def test_removal_drops_implied_pairs(self):
+        p = PriorityRelation(["a", "b", "c"])
+        p.add_ordering("a", "b")
+        p.add_ordering("b", "c")
+        assert p.has_precedence("a", "c")
+        p.remove_ordering("b", "c")
+        assert not p.has_precedence("a", "c")
+        assert p.has_precedence("a", "b")
+
+    def test_thousand_edge_chain_stays_fast(self):
+        # add_ordering used to rebuild the full closure per edge
+        # (quadratic per call); the incremental update must keep a
+        # 1,000-edge chain well under a second.
+        import time
+
+        n = 1_000
+        names = [f"r{i}" for i in range(n)]
+        p = PriorityRelation(list(names))
+        started = time.perf_counter()
+        for i in range(n - 1):
+            p.add_ordering(names[i], names[i + 1])
+        assert time.perf_counter() - started < 1.0
+        assert p.has_precedence("r0", f"r{n - 1}")
+        assert len(p.lower_than("r0")) == n - 1

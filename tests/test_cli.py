@@ -410,3 +410,158 @@ class TestDurableRun:
         code = repro_main(["recover", str(tmp_path / "absent.wal")])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+ZOO_SCHEMA = """
+sd: k
+sd2: k
+wd: k
+"""
+
+STRATIFIED_RULES = """
+create rule feed on sd when inserted
+then insert into sd2 values (1)
+
+create rule guard on sd2 when inserted
+if exists (select * from inserted where k > 5)
+then insert into sd values (9)
+"""
+
+GROWING_RULES = """
+create rule storm on wd when inserted
+then insert into wd values (1)
+"""
+
+
+class TestTerminationModes:
+    def test_tg_mode_flags_refutable_cycle(self, files, capsys):
+        code = main(
+            [
+                files("r.txt", STRATIFIED_RULES),
+                "--schema",
+                files("s.txt", ZOO_SCHEMA),
+                "--termination",
+                "tg",
+            ]
+        )
+        assert code == 1
+        assert "may not terminate" in capsys.readouterr().out
+
+    def test_stratified_mode_certifies_refutable_cycle(self, files, capsys):
+        code = main(
+            [
+                files("r.txt", STRATIFIED_RULES),
+                "--schema",
+                files("s.txt", ZOO_SCHEMA),
+                "--termination",
+                "stratified",
+                "--order",
+                "feed,guard",
+            ]
+        )
+        assert code == 0
+        assert (
+            "termination guaranteed [stratified]"
+            in capsys.readouterr().out
+        )
+
+    def test_verbose_prints_per_cycle_verdicts(self, files, capsys):
+        main(
+            [
+                files("r.txt", STRATIFIED_RULES),
+                "--schema",
+                files("s.txt", ZOO_SCHEMA),
+                "--termination",
+                "stratified",
+                "--verbose",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "per-cycle termination verdicts [stratified]" in out
+        assert "auto-certified(stratified)" in out
+
+    def test_json_carries_layered_report(self, files, capsys):
+        import json
+
+        main(
+            [
+                files("r.txt", STRATIFIED_RULES),
+                "--schema",
+                files("s.txt", ZOO_SCHEMA),
+                "--termination",
+                "critical",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        layered = payload["termination_report"]
+        assert layered["mode"] == "critical"
+        assert layered["verdicts"][0]["verdict"] == "auto-certified"
+
+    def test_dot_clusters_strata(self, files, capsys, tmp_path):
+        dot_path = tmp_path / "tg.dot"
+        main(
+            [
+                files("r.txt", STRATIFIED_RULES),
+                "--schema",
+                files("s.txt", ZOO_SCHEMA),
+                "--termination",
+                "stratified",
+                "--dot",
+                str(dot_path),
+            ]
+        )
+        assert "cluster_stratum_" in dot_path.read_text()
+
+
+class TestReplayWitnessCLI:
+    def _witness_file(self, files, capsys, tmp_path):
+        out = str(tmp_path / "witness.json")
+        main(
+            [
+                files("r.txt", GROWING_RULES),
+                "--schema",
+                files("s.txt", ZOO_SCHEMA),
+                "--termination",
+                "critical",
+                "--witness-out",
+                out,
+            ]
+        )
+        capsys.readouterr()
+        return out
+
+    def test_witness_out_then_replay_exits_zero(
+        self, files, capsys, tmp_path
+    ):
+        path = self._witness_file(files, capsys, tmp_path)
+        code = repro_main(["replay-witness", path])
+        assert code == 0
+        assert "LOOPS" in capsys.readouterr().out
+
+    def test_replay_json_output(self, files, capsys, tmp_path):
+        import json
+
+        path = self._witness_file(files, capsys, tmp_path)
+        code = repro_main(["replay-witness", path, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_valid"]
+        assert payload["results"][0]["kind"] == "pumped-growth"
+
+    def test_tampered_witness_exits_one(self, files, capsys, tmp_path):
+        import json
+
+        path = self._witness_file(files, capsys, tmp_path)
+        with open(path) as handle:
+            witnesses = json.load(handle)
+        witnesses[0]["cycle"] = ["ghost"]
+        with open(path, "w") as handle:
+            json.dump(witnesses, handle)
+        code = repro_main(["replay-witness", path])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_two(self, capsys, tmp_path):
+        code = repro_main(["replay-witness", str(tmp_path / "missing.json")])
+        assert code == 2
