@@ -26,7 +26,13 @@ Quickstart::
     print(report.summary())
 """
 
-from repro.config import DEFAULT_CONFIG, ExecutionConfig
+from repro.config import (
+    DEFAULT_CONFIG,
+    DEFAULT_SERVER_OPTIONS,
+    ExecutionConfig,
+    ServerOptions,
+)
+from repro.errors import ConflictError
 from repro.schema.catalog import (
     ColumnDef,
     ColumnType,
@@ -46,6 +52,7 @@ from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 from repro.rules.events import TriggerEvent
 from repro.runtime.processor import RuleProcessor
+from repro.runtime.server import RuleServer, Session, serial_replay
 from repro.runtime.exec_graph import ExecutionGraph, explore, explore_ruleset
 from repro.analysis.analyzer import AnalysisReport, RuleAnalyzer
 from repro.analysis.derived import DerivedDefinitions
@@ -61,7 +68,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
+    "DEFAULT_SERVER_OPTIONS",
     "ExecutionConfig",
+    "ServerOptions",
+    "ConflictError",
     "ColumnDef",
     "ColumnType",
     "Schema",
@@ -77,6 +87,9 @@ __all__ = [
     "RuleSet",
     "TriggerEvent",
     "RuleProcessor",
+    "RuleServer",
+    "Session",
+    "serial_replay",
     "ExecutionGraph",
     "explore",
     "explore_ruleset",

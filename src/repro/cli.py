@@ -798,6 +798,126 @@ def build_repro_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the recovery report and recovered tables as JSON",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run concurrent rule-processing sessions over one store",
+        description=(
+            "Drive N concurrent snapshot-isolated sessions through the "
+            "MVCC rule server (first-committer-wins validation, "
+            "optional group-commit WAL). By default the built-in "
+            "seeded streaming-ingestion workload provides the traffic; "
+            "with a rules file, --schema, and repeated --transaction "
+            "flags the server runs your transactions instead. Exits 1 "
+            "if --verify finds a divergence, 2 on usage errors."
+        ),
+    )
+    serve.add_argument(
+        "rules",
+        nargs="?",
+        help="file of create-rule statements (omit to serve the "
+        "built-in streaming workload)",
+    )
+    serve.add_argument(
+        "--schema",
+        help="schema spec file (required with a rules file)",
+    )
+    serve.add_argument(
+        "--data",
+        help="data file (table: (v, ...), ...) loaded before serving",
+    )
+    serve.add_argument(
+        "--transaction",
+        action="append",
+        default=[],
+        metavar="STMT;STMT",
+        help="one transaction: semicolon-separated statements, run as a "
+        "session plus rule cascade plus commit (repeatable; dealt over "
+        "the session threads)",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent session threads (default 8)",
+    )
+    serve.add_argument(
+        "--rows",
+        type=int,
+        default=8_000,
+        help="streaming workload: total event rows (default 8000)",
+    )
+    serve.add_argument(
+        "--batch-rows",
+        type=int,
+        default=100,
+        help="streaming workload: rows per ingestion batch (default 100)",
+    )
+    serve.add_argument(
+        "--durable",
+        metavar="FILE.wal",
+        help="write committed sessions through a group-commit WAL at "
+        "FILE.wal; `repro recover FILE.wal` replays them",
+    )
+    serve.add_argument(
+        "--no-group-commit",
+        action="store_true",
+        help="with --durable: fsync every commit by itself instead of "
+        "coalescing (the per-commit baseline)",
+    )
+    serve.add_argument(
+        "--isolation",
+        choices=("serializable", "snapshot"),
+        default="serializable",
+        help="what first-committer-wins validation checks (default "
+        "serializable: reads and writes)",
+    )
+    serve.add_argument(
+        "--granularity",
+        choices=("column", "table"),
+        default="column",
+        help="conflict-footprint resolution (default column)",
+    )
+    serve.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="group commit: longest a commit waits for company "
+        "(default 0.002)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="group commit: most commits per fsync (default 8)",
+    )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="after serving, replay the committed sessions serially in "
+        "commit order (and recover the WAL, when durable) and check "
+        "both land on the server's exact final state",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the serving report as JSON",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's counters (commits, conflicts, "
+        "retries, group-commit batch-size histogram, fsyncs)",
+    )
+    serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase wall time (parse, drive, commit_validate, "
+        "commit_publish, commit_wait, verify)",
+    )
     return parser
 
 
@@ -968,6 +1088,209 @@ def _run_recover(args) -> int:
     return 0
 
 
+def _serve_drive_transactions(server, transactions, sessions: int):
+    """Deal *transactions* (statement tuples) over *sessions* worker
+    threads; returns a :class:`~repro.workloads.streaming.DriveReport`."""
+    import queue as queue_module
+    import threading
+
+    from repro.workloads.streaming import DriveReport
+
+    work: "queue_module.Queue" = queue_module.Queue()
+    for transaction in transactions:
+        work.put(transaction)
+    report = DriveReport(
+        workers=sessions,
+        committed=0,
+        rows_ingested=0,
+        retries=0,
+        elapsed_seconds=0.0,
+    )
+    lock = threading.Lock()
+    failures: list[BaseException] = []
+
+    def run() -> None:
+        while True:
+            try:
+                transaction = work.get_nowait()
+            except queue_module.Empty:
+                return
+            began = time.perf_counter()
+            try:
+                outcome = server.run_transaction(transaction)
+            except BaseException as error:
+                with lock:
+                    failures.append(error)
+                return
+            latency = time.perf_counter() - began
+            with lock:
+                if outcome.committed:
+                    report.committed += 1
+                report.retries += outcome.retries
+                report.latencies.append(latency)
+
+    threads = [
+        threading.Thread(target=run, name=f"repro-serve-{index}")
+        for index in range(min(sessions, max(1, len(transactions))))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_seconds = time.perf_counter() - started
+    if failures:
+        raise failures[0]
+    return report
+
+
+def _run_serve(args) -> int:
+    import json
+
+    from repro.config import ServerOptions
+    from repro.runtime.server import RuleServer, serial_replay
+    from repro.workloads.streaming import (
+        drive_streaming,
+        streaming_workload,
+    )
+
+    profile: dict[str, float] = {}
+    try:
+        if args.rules and not args.schema:
+            raise ReproError("serving a rules file requires --schema")
+        if args.rules and not args.transaction:
+            raise ReproError(
+                "serving a rules file requires at least one --transaction"
+            )
+        started = time.perf_counter()
+        if args.rules:
+            schema = load_schema(args.schema)
+            with open(args.rules) as handle:
+                ruleset = RuleSet.parse(handle.read(), schema)
+            build_database = lambda: (  # noqa: E731 — rebuilt for --verify
+                load_data(args.data, schema)
+                if args.data
+                else Database(schema)
+            )
+            workload = None
+        else:
+            workload = streaming_workload(
+                rows=args.rows, batch_rows=args.batch_rows
+            )
+            schema, ruleset = workload.schema, workload.ruleset
+        profile["parse"] = time.perf_counter() - started
+
+        options = ServerOptions(
+            isolation=args.isolation,
+            granularity=args.granularity,
+            group_commit=not args.no_group_commit,
+            max_delay=args.max_delay,
+            max_batch=args.max_batch,
+        )
+        config = ExecutionConfig(
+            durable=args.durable is not None, wal=args.durable
+        )
+        database = (
+            workload.database if workload is not None else build_database()
+        )
+        server = RuleServer(
+            ruleset,
+            database,
+            config=config,
+            options=options,
+            record_history=args.verify,
+        )
+        started = time.perf_counter()
+        if workload is not None:
+            report = drive_streaming(
+                server, workload.batches, workers=args.sessions
+            )
+        else:
+            transactions = [
+                tuple(
+                    statement.strip()
+                    for statement in transaction.split(";")
+                    if statement.strip()
+                )
+                for transaction in args.transaction
+            ]
+            report = _serve_drive_transactions(
+                server, transactions, args.sessions
+            )
+        server.close()
+        profile["drive"] = time.perf_counter() - started
+        profile["commit_validate"] = server.stats.validate_seconds
+        profile["commit_publish"] = server.stats.publish_seconds
+        profile["commit_wait"] = server.stats.commit_wait_seconds
+
+        verify_section = None
+        if args.verify:
+            started = time.perf_counter()
+            if workload is not None:
+                fresh = streaming_workload(
+                    rows=args.rows, batch_rows=args.batch_rows
+                )
+                replay_ruleset, replay_database = (
+                    fresh.ruleset,
+                    fresh.database,
+                )
+            else:
+                replay_ruleset, replay_database = ruleset, build_database()
+            replayed = serial_replay(
+                replay_ruleset, replay_database, server.history
+            )
+            final = database.canonical()
+            verify_section = {
+                "replay_equal": replayed.canonical() == final
+            }
+            if args.durable:
+                recovered = Database.recover(args.durable, schema=schema)
+                verify_section["recovery_equal"] = (
+                    recovered.canonical() == final
+                )
+            profile["verify"] = time.perf_counter() - started
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    sections = server.stats_sections()
+    if args.json:
+        payload: dict = {"serve": report.to_dict(), **sections}
+        if verify_section is not None:
+            payload["verify"] = verify_section
+        if args.profile:
+            payload["profile"] = _profile_section(profile)
+        print(json.dumps(payload, indent=2))
+    else:
+        summary = report.to_dict()
+        print(
+            f"served {summary['committed']} committed transactions over "
+            f"{args.sessions} session threads in "
+            f"{summary['elapsed_seconds']}s "
+            f"({summary['commits_per_second']}/s)"
+        )
+        print(
+            f"latency p50 {summary['p50_commit_seconds']}s  "
+            f"p99 {summary['p99_commit_seconds']}s  "
+            f"abort rate {summary['abort_rate']}"
+        )
+        if args.durable:
+            print(f"WAL {args.durable}: committed sessions are durable")
+        if verify_section is not None:
+            for check, equal in verify_section.items():
+                state = "equal" if equal else "DIVERGED"
+                print(f"{check.removesuffix('_equal')}: {state}")
+        if args.stats:
+            print()
+            print(render_stats(sections))
+        if args.profile:
+            _print_profile(profile)
+
+    if verify_section is not None and not all(verify_section.values()):
+        return 1
+    return 0
+
+
 def repro_main(argv: list[str] | None = None) -> int:
     args = build_repro_parser().parse_args(argv)
     if args.command == "lint":
@@ -976,6 +1299,8 @@ def repro_main(argv: list[str] | None = None) -> int:
         return _run_replay_witness(args)
     if args.command == "recover":
         return _run_recover(args)
+    if args.command == "serve":
+        return _run_serve(args)
     return main(args.args)
 
 

@@ -102,6 +102,83 @@ class ExecutionConfig:
 DEFAULT_CONFIG = ExecutionConfig()
 
 
+#: the isolation levels `ServerOptions.isolation` accepts
+ISOLATION_MODES = ("serializable", "snapshot")
+
+#: the conflict-detection granularities `ServerOptions.granularity` accepts
+GRANULARITY_MODES = ("column", "table")
+
+
+@dataclass(frozen=True)
+class ServerOptions:
+    """Concurrency options for a :class:`~repro.runtime.server.RuleServer`.
+
+    Orthogonal to :class:`ExecutionConfig` (which still governs how each
+    session's own rule cascade executes — matching mode, planner,
+    scheduler, durability of the *server's* log):
+
+    * ``isolation`` — what first-committer-wins validation checks:
+      ``"serializable"`` (the default) validates the session's reads
+      *and* writes against commits since its snapshot, which is what
+      makes the committed history replayable serially in commit order
+      (the determinism oracle); ``"snapshot"`` validates writes only —
+      classical snapshot isolation, admitting read skew but fewer
+      aborts;
+    * ``granularity`` — footprint resolution: ``"column"`` uses the
+      attribute-level dataflow of PR 3 (insert/delete epochs per table,
+      update epochs per column), ``"table"`` falls back to the coarse
+      per-table touch index (`DeltaLog.last_write`);
+    * ``group_commit`` — funnel durable commits through the
+      :class:`~repro.engine.wal.GroupCommitWal` coalescer (``False``
+      syncs every commit by itself on the same code path);
+    * ``max_delay`` / ``max_batch`` — the coalescer's bounds: how long a
+      commit may wait for company, and how much company it may keep;
+    * ``max_retries`` — how many times :meth:`RuleServer.run_transaction`
+      reopens a session after a :class:`~repro.errors.ConflictError`
+      before giving up.
+    """
+
+    isolation: str = "serializable"
+    granularity: str = "column"
+    group_commit: bool = True
+    max_delay: float = 0.002
+    max_batch: int = 8
+    max_retries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.isolation not in ISOLATION_MODES:
+            raise ValueError(
+                f"isolation must be one of {', '.join(ISOLATION_MODES)}; "
+                f"got {self.isolation!r}"
+            )
+        if self.granularity not in GRANULARITY_MODES:
+            raise ValueError(
+                f"granularity must be one of {', '.join(GRANULARITY_MODES)}; "
+                f"got {self.granularity!r}"
+            )
+        if not isinstance(self.max_batch, int) or self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be a positive int; got {self.max_batch!r}"
+            )
+        if self.max_delay < 0:
+            raise ValueError(
+                f"max_delay must be >= 0; got {self.max_delay!r}"
+            )
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be a non-negative int; "
+                f"got {self.max_retries!r}"
+            )
+
+    def with_options(self, **changes) -> "ServerOptions":
+        """A copy with *changes* applied (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+
+#: the default server options
+DEFAULT_SERVER_OPTIONS = ServerOptions()
+
+
 def resolve_config(
     config: ExecutionConfig | None,
     api: str,

@@ -150,6 +150,32 @@ class Database:
         for name in net.tables:
             self.table(name).apply_effect(net.table(name))
 
+    def merge_update(
+        self, table: str, tid: int, changed: dict[int, object]
+    ) -> tuple[tuple, tuple]:
+        """Overwrite only the columns in *changed* on row *tid*.
+
+        The column-granular publication primitive of the concurrent
+        server: a session's validated update carries just the columns it
+        changed, and merging them onto the *current* row (rather than
+        replaying the session's whole new tuple) preserves concurrent
+        committed writes to disjoint columns of the same row. Returns
+        the ``(old, new)`` tuples actually applied — the caller logs
+        them as the published update primitive.
+        """
+        data = self.table(table)
+        old = data.get(tid)
+        if old is None:
+            raise SchemaError(
+                f"merge_update: row {tid} is not in table {table!r}"
+            )
+        new = tuple(
+            changed.get(index, value) for index, value in enumerate(old)
+        )
+        self._check_types(table, new)
+        data.update(tid, new)
+        return old, new
+
     @classmethod
     def recover(cls, path: str, schema=None) -> "Database":
         """The database as of the last committed transaction in the WAL

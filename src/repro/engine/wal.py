@@ -34,6 +34,17 @@ transaction is durable exactly when its ``C`` frame is. Nothing else
 needs to fsync: losing buffered-but-unsynced frames only ever truncates
 an uncommitted suffix, which recovery discards anyway.
 
+Group commit. :class:`GroupCommitWal` funnels the commits of many
+concurrent sessions through one committer thread: each transaction's
+``B``/``P`` frames are emitted as it arrives, its ``C`` marker is
+deferred until up to ``max_batch`` transactions are waiting (or
+``max_delay`` elapses), and the whole batch then shares a single
+flush + fsync — amortizing the per-commit sync across the batch while
+preserving the exact per-caller durability contract. Such logs
+interleave frames of different transactions (``B1 P1 B2 P2 C1 C2``);
+recovery tracks one pending transaction per id and replays each at its
+own commit marker, in file order.
+
 Recovery. :func:`scan_frames` walks frames until the first torn or
 CRC-corrupt one — a partial header, short payload, checksum mismatch,
 or undecodable record ends the scan *without error* (that is exactly
@@ -58,7 +69,9 @@ from __future__ import annotations
 
 import json
 import os
+import queue
 import struct
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -336,6 +349,29 @@ class WalWriter:
             self._sync()
         return self.stats.frames_emitted
 
+    def commit_marker(self, txn_id: int, *, epoch: int | None = None) -> int:
+        """Write a commit marker WITHOUT forcing it to disk.
+
+        The group-commit coalescer emits one marker per batch member and
+        then pays a single :meth:`sync_now` for the whole batch; the
+        transaction is durable only once that sync returns. *epoch*, when
+        given, tags the marker with the server's commit sequence number
+        (recovery ignores it; the concurrent crash matrix uses it to map
+        frame boundaries back to commits). Returns the frame count
+        including the marker.
+        """
+        payload: dict = {"t": "C", "x": txn_id}
+        if epoch is not None:
+            payload["e"] = epoch
+        self._emit(payload)
+        return self.stats.frames_emitted
+
+    def sync_now(self) -> None:
+        """Flush buffered frames and fsync them (one durability point)."""
+        self.flush()
+        if self.sync != "never":
+            self._sync()
+
     def abort(self, txn_id: int) -> None:
         """Write the abort marker. Aborts need no fsync: an abort that
         never reaches disk is recovered identically (the transaction
@@ -421,6 +457,210 @@ class WalWriter:
 
 
 # ----------------------------------------------------------------------
+# Group commit
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GroupCommitStats:
+    """Coalescer counters (the ``--stats`` / bench surface).
+
+    ``batch_sizes`` is a histogram: batch size -> how many batches of
+    that size were synced. ``fsyncs-per-commit`` for the bench gate is
+    ``writer.stats.syncs / commits``.
+    """
+
+    commits: int = 0
+    batches: int = 0
+    batch_sizes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "commits": self.commits,
+            "batches": self.batches,
+            "batch_sizes": {
+                str(size): count
+                for size, count in sorted(self.batch_sizes.items())
+            },
+        }
+
+
+class _CommitTicket:
+    """One transaction waiting for the coalescer to make it durable."""
+
+    __slots__ = ("txn_id", "primitives", "epoch", "done", "error")
+
+    def __init__(self, txn_id: int, primitives, epoch: int | None) -> None:
+        self.txn_id = txn_id
+        self.primitives = primitives
+        self.epoch = epoch
+        self.done = threading.Event()
+        self.error: BaseException | None = None
+
+
+class GroupCommitWal:
+    """A commit coalescer over one :class:`WalWriter`.
+
+    All frame emission is funneled through a single committer thread, so
+    the writer needs no internal locking and the file's frame order is
+    exactly the submission order. For each submitted transaction the
+    committer immediately emits its ``B`` + ``P`` frames (buffered);
+    commit markers are *deferred*: the committer collects transactions
+    for up to ``max_delay`` seconds (or until ``max_batch`` of them are
+    waiting), then emits all their ``C`` frames and pays one flush + one
+    fsync for the whole batch. The resulting file genuinely interleaves
+    frames from concurrently-committing transactions — ``B1 P1 B2 P2 C1
+    C2`` — which is what the multi-transaction recovery below exists to
+    replay. :meth:`commit` blocks until its transaction's batch has
+    synced, so the durability contract per caller is identical to
+    :meth:`WalWriter.commit`; ``C`` frames appear in submission order,
+    so when callers submit in their publication order, recovery replays
+    net effects in that same order.
+
+    With ``max_batch=1`` (or ``max_delay=0``) every transaction syncs
+    alone — the per-commit-fsync baseline the bench gate compares
+    against, on the same code path.
+    """
+
+    def __init__(
+        self,
+        writer: WalWriter,
+        *,
+        max_delay: float = 0.002,
+        max_batch: int = 8,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1; got {max_batch!r}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0; got {max_delay!r}")
+        self.writer = writer
+        self.max_delay = max_delay
+        self.max_batch = max_batch
+        self.stats = GroupCommitStats()
+        self._queue: "queue.Queue[_CommitTicket | None]" = queue.Queue()
+        self._failed: BaseException | None = None
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-group-commit", daemon=True
+        )
+        self._thread.start()
+
+    # -- the session-facing surface ------------------------------------
+
+    def checkpoint(self, database: Database) -> None:
+        """Checkpoint the base state. Call before the first commit: the
+        committer thread owns the writer once transactions flow."""
+        self.writer.checkpoint(database)
+        self.writer.flush()
+
+    def submit(
+        self, txn_id: int, primitives, *, epoch: int | None = None
+    ) -> _CommitTicket:
+        """Enqueue one transaction's frames; returns the ticket to
+        :meth:`wait` on. Split from :meth:`commit` so a caller holding a
+        publication lock can enqueue inside it (fixing this commit's
+        position in WAL order) and block for the group fsync outside it.
+        """
+        if self._closed:
+            raise WalError("group-commit WAL is closed")
+        if self._failed is not None:
+            raise WalWriteError(
+                f"group-commit WAL failed earlier: {self._failed}"
+            )
+        ticket = _CommitTicket(txn_id, list(primitives), epoch)
+        self._queue.put(ticket)
+        return ticket
+
+    def wait(self, ticket: _CommitTicket) -> None:
+        """Block until *ticket*'s batch has synced; raises its error."""
+        ticket.done.wait()
+        if ticket.error is not None:
+            raise ticket.error
+
+    def commit(
+        self, txn_id: int, primitives, *, epoch: int | None = None
+    ) -> None:
+        """Submit one transaction's frames and block until durable.
+
+        Raises :class:`WalWriteError` if the committer failed — the
+        transaction may or may not be durable at that point, exactly as
+        with a torn ``commit()``.
+        """
+        self.wait(self.submit(txn_id, primitives, epoch=epoch))
+
+    def close(self) -> None:
+        """Drain pending commits, sync, and close the underlying writer."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join()
+        self.writer.close()
+
+    # -- the committer thread ------------------------------------------
+
+    def _write_body(self, ticket: _CommitTicket) -> None:
+        self.writer.begin(ticket.txn_id)
+        for primitive in ticket.primitives:
+            self.writer.primitive(ticket.txn_id, primitive)
+
+    def _run(self) -> None:
+        shutdown = False
+        while not shutdown:
+            item = self._queue.get()
+            if item is None:
+                break
+            batch = [item]
+            try:
+                self._write_body(item)
+                deadline = time.monotonic() + self.max_delay
+                while len(batch) < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    if item is None:
+                        shutdown = True
+                        break
+                    self._write_body(item)
+                    batch.append(item)
+                for ticket in batch:
+                    self.writer.commit_marker(
+                        ticket.txn_id, epoch=ticket.epoch
+                    )
+                self.writer.sync_now()
+                self.stats.commits += len(batch)
+                self.stats.batches += 1
+                self.stats.batch_sizes[len(batch)] = (
+                    self.stats.batch_sizes.get(len(batch), 0) + 1
+                )
+            except BaseException as error:  # noqa: BLE001 — fail tickets
+                self._failed = error
+                for ticket in batch:
+                    ticket.error = WalWriteError(
+                        f"group commit failed: {error}"
+                    )
+                # Later tickets must not hang on a dead committer.
+                while True:
+                    try:
+                        later = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if later is not None:
+                        later.error = WalWriteError(
+                            f"group commit failed earlier: {error}"
+                        )
+                        later.done.set()
+                shutdown = True
+            finally:
+                for ticket in batch:
+                    ticket.done.set()
+
+
+# ----------------------------------------------------------------------
 # Recovery
 # ----------------------------------------------------------------------
 
@@ -434,6 +674,9 @@ class RecoveryReport:
     transactions_aborted: int = 0
     #: a begin without commit/abort was cut off by the crash
     open_transaction_discarded: bool = False
+    #: how many such in-flight transactions were discarded (a concurrent
+    #: log can lose several to one crash)
+    transactions_discarded: int = 0
     #: trailing torn/corrupt bytes were truncated (not fatal)
     torn_tail: bool = False
     tail_reason: str = ""
@@ -447,6 +690,7 @@ class RecoveryReport:
             "transactions_committed": self.transactions_committed,
             "transactions_aborted": self.transactions_aborted,
             "open_transaction_discarded": self.open_transaction_discarded,
+            "transactions_discarded": self.transactions_discarded,
             "torn_tail": self.torn_tail,
             "tail_reason": self.tail_reason,
             "checkpoint_rows": self.checkpoint_rows,
@@ -522,35 +766,40 @@ def recover_database(path: str, schema: Schema | None = None) -> RecoveryResult:
         )
     database = Database(schema or schema_from_spec(header["schema"]))
 
-    open_txn: int | None = None
-    pending: list[Primitive] = []
+    # One pending primitive list per in-flight transaction id: a
+    # group-commit log interleaves begin/primitive frames from
+    # concurrently-committing sessions, and a transaction replays at
+    # (and only at) its own commit marker. Commit markers appear in the
+    # coalescer's submission order — the server's publication order — so
+    # replaying them in file order reproduces the published state. A
+    # sequential single-session log is the one-pending special case and
+    # recovers exactly as before.
+    pending: dict[int, list[Primitive]] = {}
     for frame in scan.frames[1:]:
         kind = frame.kind
         payload = frame.payload
         if kind == "K":
             _apply_checkpoint(database, payload, report)
         elif kind == "B":
-            # A begin implicitly abandons any unfinished transaction
-            # (the writer never interleaves transactions).
-            open_txn = payload["x"]
-            pending = []
+            # A begin for an id already in flight abandons the earlier
+            # incarnation (id reuse by a restarted sequential writer).
+            pending[payload["x"]] = []
         elif kind == "P":
-            if open_txn is not None and payload["x"] == open_txn:
-                pending.append(payload_primitive(payload))
+            primitives = pending.get(payload["x"])
+            if primitives is not None:
+                primitives.append(payload_primitive(payload))
         elif kind == "C":
-            if open_txn is not None and payload["x"] == open_txn:
-                _replay_transaction(database, pending, report)
+            primitives = pending.pop(payload["x"], None)
+            if primitives is not None:
+                _replay_transaction(database, primitives, report)
                 report.transactions_committed += 1
-            open_txn = None
-            pending = []
         elif kind == "A":
-            if open_txn is not None and payload["x"] == open_txn:
+            if pending.pop(payload["x"], None) is not None:
                 report.transactions_aborted += 1
-            open_txn = None
-            pending = []
         else:
             raise WalError(f"{path}: unknown frame kind {kind!r}")
-    if open_txn is not None:
+    if pending:
         report.open_transaction_discarded = True
+        report.transactions_discarded = len(pending)
     report.replay_seconds = time.perf_counter() - started
     return RecoveryResult(database=database, report=report)

@@ -69,6 +69,22 @@ class RollbackSignal(ExecutionError):
         self.message = message
 
 
+class ConflictError(ReproError):
+    """A session failed first-committer-wins validation and was aborted.
+
+    Retriable by construction: the session's fork is discarded and
+    nothing it did is visible, so the caller may simply open a fresh
+    session (against a newer snapshot) and re-run the same statements.
+    :class:`~repro.runtime.server.RuleServer` raises it from
+    ``Session.commit``; ``items`` names the conflicting footprint
+    entries (``"table"`` or ``"table.column"``).
+    """
+
+    def __init__(self, message: str, items: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.items = items
+
+
 class RuleError(ReproError):
     """Raised for invalid rule definitions or rule-set construction."""
 

@@ -10,11 +10,22 @@
   Section 4: exhaustively enumerates all choice orders, yielding the
   ground truth ("oracle") for termination, confluence and observable
   determinism on concrete instances.
+* :mod:`repro.runtime.server` — the concurrent multi-session server:
+  snapshot-isolation MVCC over copy-on-write forks with
+  first-committer-wins validation and a group-commit WAL.
 """
 
 from repro.runtime.observer import ObservableAction
 from repro.runtime.parallel import ParallelScheduler, SchedulerStats
 from repro.runtime.processor import ConsiderationOutcome, ProcessingResult, RuleProcessor
+from repro.runtime.server import (
+    CommitReceipt,
+    RuleServer,
+    ServerStats,
+    Session,
+    TransactionOutcome,
+    serial_replay,
+)
 from repro.runtime.strategies import (
     FirstEligibleStrategy,
     RandomStrategy,
@@ -26,6 +37,12 @@ __all__ = [
     "ObservableAction",
     "ParallelScheduler",
     "SchedulerStats",
+    "CommitReceipt",
+    "RuleServer",
+    "ServerStats",
+    "Session",
+    "TransactionOutcome",
+    "serial_replay",
     "ConsiderationOutcome",
     "ProcessingResult",
     "RuleProcessor",

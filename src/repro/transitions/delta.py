@@ -257,5 +257,81 @@ class DeltaLog:
         for primitive in kept:
             self._last_write[primitive.table] = primitive.seq + 1
 
+    def compact(self) -> int:
+        """Drop the stored primitive prefix, keeping positions and the
+        touch index.
+
+        The concurrent server uses a :class:`DeltaLog` purely as a
+        monotone *epoch source* and touch index over published commits:
+        it never reads primitives back (the WAL holds the durable copy),
+        so retaining them would grow memory without bound. Compaction
+        seals the tail and discards the chunk contents; ``position``,
+        ``last_write`` and ``written_since`` are unaffected, while
+        :meth:`iter_range`/:meth:`since` over the dropped prefix return
+        nothing (the compaction point is the new readable floor).
+        Returns the number of primitives dropped.
+        """
+        self.seal()
+        dropped = sum(len(chunk) for chunk in self._chunks)
+        self._chunks = []
+        return dropped
+
     def __len__(self) -> int:
         return self.position
+
+
+class ColumnTouchIndex:
+    """Per-kind, per-column write epochs over a stream of primitives.
+
+    The coarse touch index (:meth:`DeltaLog.last_write`) answers "was
+    this table written past position p?". First-committer-wins
+    validation at *column* granularity needs three finer questions,
+    answered by feeding every published primitive through
+    :meth:`observe`:
+
+    * ``inserted_since(table, p)`` — rows appeared (membership grew);
+    * ``deleted_since(table, p)`` — rows disappeared (and with them
+      every column value they carried);
+    * ``updated_since(table, column, p)`` — this column's values
+      changed in place (an update primitive whose old and new tuples
+      differ at the column's index).
+
+    Positions follow the same convention as ``last_write``: the value
+    stored is one past the primitive's position, and 0 means "never".
+    """
+
+    __slots__ = ("_inserted", "_deleted", "_updated")
+
+    def __init__(self) -> None:
+        self._inserted: dict[str, int] = {}
+        self._deleted: dict[str, int] = {}
+        self._updated: dict[str, dict[int, int]] = {}
+
+    def observe(self, primitive: Primitive) -> None:
+        position = primitive.seq + 1
+        if primitive.kind == "I":
+            self._inserted[primitive.table] = position
+        elif primitive.kind == "D":
+            self._deleted[primitive.table] = position
+        else:
+            changed = self._updated.setdefault(primitive.table, {})
+            for index, (old, new) in enumerate(
+                zip(primitive.old, primitive.new)
+            ):
+                if old != new:
+                    changed[index] = position
+
+    def inserted_since(self, table: str, position: int) -> bool:
+        return self._inserted.get(table, 0) > position
+
+    def deleted_since(self, table: str, position: int) -> bool:
+        return self._deleted.get(table, 0) > position
+
+    def updated_since(self, table: str, column: int, position: int) -> bool:
+        return self._updated.get(table, {}).get(column, 0) > position
+
+    def any_update_since(self, table: str, position: int) -> bool:
+        """True iff *any* column of *table* was updated past *position*."""
+        return any(
+            at > position for at in self._updated.get(table, {}).values()
+        )

@@ -25,6 +25,7 @@ imports this module (validate depends on engine, not the reverse).
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 
 
@@ -94,3 +95,33 @@ class FaultPlan:
                 f"injected {operation} failure "
                 f"#{self.io_errors_injected}"
             )
+
+
+@dataclass
+class DeviceLatency:
+    """A deterministic storage-device latency model (no failures).
+
+    Speaks the same duck-typed protocol as :class:`FaultPlan`, but
+    instead of injecting errors it *sleeps* before physical I/O —
+    ``fsync_seconds`` models the sync penalty of a commodity disk
+    (``0.01`` ≈ a spinning disk, ``0.001`` ≈ a consumer SSD).
+
+    The server benchmark gate runs on it so its group-commit floors are
+    hardware-independent: an in-page-cache tmpfs fsync costs
+    microseconds and would make fsync amortization unmeasurable, while a
+    simulated device pins the sync cost to a known constant.
+    ``time.sleep`` releases the GIL, so concurrently-committing sessions
+    overlap their waits exactly as they would overlap real device time.
+    """
+
+    fsync_seconds: float = 0.0
+    write_seconds: float = 0.0
+
+    def before_frame(self, writer, index: int, frame: bytes) -> None:
+        """No frame-boundary behavior (protocol compliance only)."""
+
+    def before_io(self, operation: str) -> None:
+        if operation == "fsync" and self.fsync_seconds > 0:
+            time.sleep(self.fsync_seconds)
+        elif operation == "write" and self.write_seconds > 0:
+            time.sleep(self.write_seconds)

@@ -13,7 +13,10 @@
   query-engine benchmark gate (join-heavy and selective-filter shapes);
 * :mod:`repro.workloads.partitioned` — the hash-partitionable
   multi-domain drain workload feeding the partition-parallel gate and
-  the parallel-vs-serial equivalence harness.
+  the parallel-vs-serial equivalence harness;
+* :mod:`repro.workloads.streaming` — the streaming-ingestion workload
+  (many event streams, per-region alert rules, one shared hot counter)
+  and the multi-threaded driver behind the concurrent-server gate.
 """
 
 from repro.workloads.generator import (
@@ -39,6 +42,13 @@ from repro.workloads.partitioned import (
     PartitionedWorkload,
     partitioned_workload,
 )
+from repro.workloads.streaming import (
+    DriveReport,
+    StreamingBatch,
+    StreamingWorkload,
+    drive_streaming,
+    streaming_workload,
+)
 
 __all__ = [
     "GeneratorConfig",
@@ -56,4 +66,9 @@ __all__ = [
     "selective_filter_workload",
     "PartitionedWorkload",
     "partitioned_workload",
+    "DriveReport",
+    "StreamingBatch",
+    "StreamingWorkload",
+    "drive_streaming",
+    "streaming_workload",
 ]

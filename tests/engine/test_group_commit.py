@@ -1,0 +1,163 @@
+"""Group-commit coalescer tests: batching, ordering, failure latching."""
+
+import threading
+
+import pytest
+
+from repro.engine.wal import (
+    GroupCommitWal,
+    WalError,
+    WalWriteError,
+    WalWriter,
+    recover_database,
+    scan_frames,
+)
+from repro.schema.catalog import schema_from_spec
+from repro.transitions.delta import Primitive
+from repro.validate.faults import FaultPlan
+
+
+@pytest.fixture
+def schema():
+    return schema_from_spec({"t": ["id", "v"]})
+
+
+def insert(seq, tid, values):
+    return Primitive.checked(seq, "I", "t", tid, None, tuple(values))
+
+
+def make_group(path, schema, **kwargs):
+    return GroupCommitWal(WalWriter(path, schema=schema), **kwargs)
+
+
+class TestBatching:
+    def test_concurrent_commits_share_fsyncs(self, schema, tmp_path):
+        group = make_group(
+            str(tmp_path / "g.wal"), schema, max_delay=0.2, max_batch=8
+        )
+        count = 8
+        ready = threading.Barrier(count)
+
+        def commit(txn):
+            ready.wait()  # release the pack together: one batch
+            group.commit(txn, [insert(txn, txn, (txn, 0))])
+
+        threads = [
+            threading.Thread(target=commit, args=(txn,))
+            for txn in range(1, count + 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        group.close()
+
+        assert group.stats.commits == count
+        assert group.stats.batches < count
+        assert max(group.stats.batch_sizes) >= 2
+        # Fewer syncs than commits (+1 for the close-time sync at most).
+        assert group.writer.stats.syncs <= group.stats.batches + 1
+
+    def test_max_batch_one_is_the_per_commit_baseline(self, schema, tmp_path):
+        group = make_group(
+            str(tmp_path / "b.wal"), schema, max_delay=0.0, max_batch=1
+        )
+        for txn in range(1, 6):
+            group.commit(txn, [insert(txn, txn, (txn, 0))])
+        group.close()
+        assert group.stats.batches == 5
+        assert group.stats.batch_sizes == {1: 5}
+
+    def test_commit_equals_submit_plus_wait(self, schema, tmp_path):
+        group = make_group(str(tmp_path / "s.wal"), schema)
+        ticket = group.submit(1, [insert(1, 1, (1, 0))], epoch=1)
+        group.wait(ticket)
+        group.commit(2, [insert(2, 2, (2, 0))], epoch=2)
+        group.close()
+        result = recover_database(str(tmp_path / "s.wal"))
+        assert result.report.transactions_committed == 2
+        assert result.database.table("t").value_tuples() == [(1, 0), (2, 0)]
+
+
+class TestOrderingAndFrames:
+    def test_commit_markers_carry_the_epoch(self, schema, tmp_path):
+        path = str(tmp_path / "e.wal")
+        group = make_group(path, schema, max_delay=0.0, max_batch=1)
+        group.commit(7, [insert(1, 1, (1, 0))], epoch=41)
+        group.commit(9, [insert(2, 2, (2, 0))], epoch=42)
+        group.close()
+        markers = [f for f in scan_frames(path).frames if f.kind == "C"]
+        assert [(f.payload["x"], f.payload["e"]) for f in markers] == [
+            (7, 41),
+            (9, 42),
+        ]
+
+    def test_markers_appear_in_submission_order(self, schema, tmp_path):
+        path = str(tmp_path / "o.wal")
+        group = make_group(path, schema, max_delay=0.2, max_batch=4)
+        tickets = [
+            group.submit(txn, [insert(txn, txn, (txn, 0))], epoch=txn)
+            for txn in (3, 1, 2)
+        ]
+        for ticket in tickets:
+            group.wait(ticket)
+        group.close()
+        markers = [f for f in scan_frames(path).frames if f.kind == "C"]
+        assert [f.payload["x"] for f in markers] == [3, 1, 2]
+
+
+class TestShutdownAndFailure:
+    def test_close_drains_pending_commits(self, schema, tmp_path):
+        path = str(tmp_path / "d.wal")
+        group = make_group(path, schema, max_delay=0.5, max_batch=64)
+        tickets = [
+            group.submit(txn, [insert(txn, txn, (txn, 0))])
+            for txn in range(1, 4)
+        ]
+        group.close()  # must not strand the queued tickets
+        for ticket in tickets:
+            group.wait(ticket)
+        assert recover_database(path).report.transactions_committed == 3
+
+    def test_submit_after_close_raises(self, schema, tmp_path):
+        group = make_group(str(tmp_path / "c.wal"), schema)
+        group.close()
+        with pytest.raises(WalError):
+            group.submit(1, [insert(1, 1, (1, 0))])
+
+    def test_close_twice_is_idempotent(self, schema, tmp_path):
+        group = make_group(str(tmp_path / "c2.wal"), schema)
+        group.close()
+        group.close()
+
+    def test_permanent_device_failure_fails_waiters_and_latches(
+        self, schema, tmp_path
+    ):
+        plan = FaultPlan(io_error_rate=0.0, seed=0)
+        writer = WalWriter(
+            str(tmp_path / "f.wal"),
+            schema=schema,
+            fault_plan=plan,
+            sleep=lambda delay: None,
+        )
+        # The device goes permanently bad after the header is down.
+        plan.io_error_rate = 1.0
+        plan.max_io_errors = None
+        group = GroupCommitWal(writer, max_delay=0.0, max_batch=1)
+        with pytest.raises(WalWriteError):
+            group.commit(1, [insert(1, 1, (1, 0))])
+        # The failure latches: later submissions are refused up front,
+        # and closing the dead device reports the failure rather than
+        # pretending the tail was flushed.
+        with pytest.raises(WalWriteError):
+            group.submit(2, [insert(2, 2, (2, 0))])
+        with pytest.raises(WalWriteError):
+            group.close()
+
+    def test_constructor_validates_knobs(self, schema, tmp_path):
+        writer = WalWriter(str(tmp_path / "k.wal"), schema=schema)
+        with pytest.raises(ValueError):
+            GroupCommitWal(writer, max_batch=0)
+        with pytest.raises(ValueError):
+            GroupCommitWal(writer, max_delay=-1.0)
+        writer.close()

@@ -565,3 +565,109 @@ class TestReplayWitnessCLI:
     def test_unreadable_file_exits_two(self, capsys, tmp_path):
         code = repro_main(["replay-witness", str(tmp_path / "missing.json")])
         assert code == 2
+
+
+class TestServeMode:
+    def test_streaming_default_serves_and_verifies(self, capsys):
+        code = repro_main(
+            ["serve", "--rows", "800", "--sessions", "4", "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 8 committed transactions over 4 session threads" in out
+        assert "replay: equal" in out
+
+    def test_rules_mode_runs_transactions(self, files, capsys):
+        code = repro_main(
+            [
+                "serve",
+                files("r.txt", RUNNABLE_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+                "--data",
+                files("d.txt", DATA),
+                "--transaction",
+                "insert into t values (1, 9)",
+                "--transaction",
+                "insert into t values (2, 9)",
+                "--sessions",
+                "2",
+                "--verify",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 2 committed transactions" in out
+        assert "replay: equal" in out
+
+    def test_json_stats_profile_payload(self, tmp_path, capsys):
+        import json
+
+        wal = str(tmp_path / "serve.wal")
+        code = repro_main(
+            [
+                "serve",
+                "--rows",
+                "400",
+                "--sessions",
+                "2",
+                "--durable",
+                wal,
+                "--verify",
+                "--json",
+                "--stats",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["serve"]["committed"] == 4
+        assert payload["server"]["commits"] == 4
+        assert payload["verify"] == {
+            "replay_equal": True,
+            "recovery_equal": True,
+        }
+        assert "commit_validate" in payload["profile"]
+        assert "commit_wait" in payload["profile"]
+        assert "batch_sizes" in payload["group_commit"]
+        assert payload["wal"]["syncs"] >= 1
+
+    def test_durable_wal_recovers_via_recover_command(self, tmp_path, capsys):
+        wal = str(tmp_path / "serve.wal")
+        code = repro_main(
+            ["serve", "--rows", "400", "--sessions", "2", "--durable", wal]
+        )
+        assert code == 0
+        assert "committed sessions are durable" in capsys.readouterr().out
+        code = repro_main(["recover", wal, "--json"])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["transactions_committed"] == 4
+
+    def test_stats_text_includes_server_counters(self, capsys):
+        code = repro_main(
+            ["serve", "--rows", "400", "--sessions", "2", "--stats"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "server" in out
+        assert "commits" in out
+
+    def test_rules_without_schema_exits_two(self, files, capsys):
+        code = repro_main(["serve", files("r.txt", RUNNABLE_RULES)])
+        assert code == 2
+        assert "requires --schema" in capsys.readouterr().err
+
+    def test_rules_without_transactions_exits_two(self, files, capsys):
+        code = repro_main(
+            [
+                "serve",
+                files("r.txt", RUNNABLE_RULES),
+                "--schema",
+                files("s.txt", SCHEMA),
+            ]
+        )
+        assert code == 2
+        assert "--transaction" in capsys.readouterr().err

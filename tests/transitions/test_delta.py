@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.transitions.delta import DeltaLog, Primitive
+from repro.transitions.delta import ColumnTouchIndex, DeltaLog, Primitive
 
 
 class TestPrimitiveValidation:
@@ -144,3 +144,136 @@ class TestDeltaLog:
         log.truncate(position)
         assert log.position == position
         assert [p.tid for p in log.all()] == [1]
+
+
+class TestLastWriteEdges:
+    """Epoch-source edge cases the MVCC validator leans on: every write
+    epoch is one-past the primitive's seq, 0 means never written, and
+    rollback (truncate) restores exactly the pre-transaction epochs."""
+
+    def test_update_as_retract_plus_insert_advances_the_epoch(self):
+        # An engine may express an in-place update as delete+insert;
+        # both primitives must advance the table's write epoch so a
+        # validator snapshot taken before either of them conflicts.
+        log = DeltaLog()
+        log.record_insert("t", 1, (1, 5))
+        epoch = log.position
+        log.record_delete("t", 1, (1, 5))
+        log.record_insert("t", 2, (1, 6))
+        assert log.last_write("t") == 3
+        assert log.last_write("t") > epoch
+
+    def test_epoch_is_one_past_seq(self):
+        log = DeltaLog()
+        primitive = log.record_insert("t", 1, (1,))
+        assert primitive.seq == 0
+        assert log.last_write("t") == 1  # seq + 1: compares with `>`
+        assert log.last_write("never_written") == 0
+
+    def test_rolled_back_transaction_restores_epochs(self):
+        # Transaction 1 commits, transaction 2 writes t and u then rolls
+        # back: u's epoch must drop back to "never", t's to commit 1's.
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        mark = log.position
+        log.record_update("t", 1, (1,), (2,))
+        log.record_insert("u", 9, (9,))
+        log.truncate(mark)
+        assert log.last_write("t") == 1
+        assert log.last_write("u") == 0
+
+    def test_truncate_to_zero_clears_every_epoch(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        log.record_insert("u", 2, (2,))
+        log.truncate(0)
+        assert log.last_write("t") == 0
+        assert log.last_write("u") == 0
+
+    def test_written_since_matches_last_write(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        mark = log.position
+        assert not log.written_since("t", mark)
+        log.record_delete("t", 1, (1,))
+        assert log.written_since("t", mark)
+        assert not log.written_since("u", 0)
+
+
+class TestColumnTouchIndex:
+    def observe_all(self, index, log):
+        for primitive in log.all():
+            index.observe(primitive)
+
+    def test_update_touches_only_changed_columns(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1, 5, 7))
+        mark = log.position
+        log.record_update("t", 1, (1, 5, 7), (1, 6, 7))  # column 1 only
+        touch = ColumnTouchIndex()
+        self.observe_all(touch, log)
+        assert touch.updated_since("t", 1, mark)
+        assert not touch.updated_since("t", 0, mark)
+        assert not touch.updated_since("t", 2, mark)
+
+    def test_insert_and_delete_tracked_separately(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        mark = log.position
+        log.record_delete("t", 1, (1,))
+        touch = ColumnTouchIndex()
+        self.observe_all(touch, log)
+        assert touch.inserted_since("t", 0)
+        assert not touch.inserted_since("t", mark)
+        assert touch.deleted_since("t", mark)
+        assert not touch.deleted_since("t", log.position)
+
+    def test_any_update_since(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1, 5))
+        mark = log.position
+        touch = ColumnTouchIndex()
+        self.observe_all(touch, log)
+        assert not touch.any_update_since("t", mark)
+        touch.observe(log.record_update("t", 1, (1, 5), (1, 6)))
+        assert touch.any_update_since("t", mark)
+        assert not touch.any_update_since("t", log.position)
+
+    def test_unknown_table_never_touched(self):
+        touch = ColumnTouchIndex()
+        assert not touch.inserted_since("ghost", 0)
+        assert not touch.deleted_since("ghost", 0)
+        assert not touch.updated_since("ghost", 0, 0)
+        assert not touch.any_update_since("ghost", 0)
+
+
+class TestCompaction:
+    """The server log compacts after every publication: positions and
+    write epochs must survive, stored primitives must not."""
+
+    def test_compact_preserves_position_and_epochs(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        log.record_update("t", 1, (1,), (2,))
+        position = log.position
+        dropped = log.compact()
+        assert dropped == 2
+        assert log.position == position
+        assert log.last_write("t") == position
+        assert log.all() == []
+        assert list(log.iter_range(0, position)) == []
+
+    def test_sequence_continues_after_compaction(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        log.compact()
+        primitive = log.record_insert("t", 2, (2,))
+        assert primitive.seq == 1
+        assert log.position == 2
+        assert [p.tid for p in log.all()] == [2]
+
+    def test_compact_twice_is_idempotent(self):
+        log = DeltaLog()
+        log.record_insert("t", 1, (1,))
+        log.compact()
+        assert log.compact() == 0
