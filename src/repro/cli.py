@@ -918,6 +918,60 @@ def build_repro_parser() -> argparse.ArgumentParser:
         help="print per-phase wall time (parse, drive, commit_validate, "
         "commit_publish, commit_wait, verify)",
     )
+
+    crosscheck = commands.add_parser(
+        "crosscheck",
+        help="differential-check the declarative semantics against "
+        "every execution mode",
+        description=(
+            "Compute a workload's declarative outcome (per-stratum "
+            "fixpoints, Flesca/Greco style) and run its transition "
+            "through the execution-mode cross product — condition "
+            "matching (naive/planned/rete) x scheduling "
+            "(serial/parallel) x persistence (memory/durable/server). "
+            "Certified-confluent workloads must match the declarative "
+            "final exactly in every mode; others must contain it in "
+            "the explore()-reachable set. Exits 1 on any divergence "
+            "(with a minimized counterexample), 2 on usage errors."
+        ),
+    )
+    crosscheck.add_argument(
+        "workload",
+        nargs="*",
+        help="workloads to check: powernet, powernet_scaled, "
+        "termination_zoo, streaming, partitioned, iot, fraud "
+        "(default: all but the scaled ones)",
+    )
+    crosscheck.add_argument(
+        "--rows",
+        type=int,
+        metavar="N",
+        help="scale the instance (workload-specific default; iot/fraud "
+        "default to 1,000,000 rows)",
+    )
+    crosscheck.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload generator seed (default 0)",
+    )
+    crosscheck.add_argument(
+        "--modes",
+        default="all",
+        metavar="SPEC",
+        help="'all' (18 modes), 'quick' (one per axis), or a comma "
+        "list like planned-serial-memory,rete-parallel-durable",
+    )
+    crosscheck.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="on divergence, skip counterexample minimization",
+    )
+    crosscheck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the reports as JSON",
+    )
     return parser
 
 
@@ -1291,6 +1345,87 @@ def _run_serve(args) -> int:
     return 0
 
 
+#: crosscheck's default sweep — every registered workload that fits in
+#: an interactive run (the scaled builds are opt-in by name)
+_CROSSCHECK_DEFAULT = (
+    "powernet",
+    "termination_zoo",
+    "streaming",
+    "partitioned",
+)
+
+
+def _run_crosscheck(args) -> int:
+    from repro.validate.crosscheck import (
+        build_case,
+        case_names,
+        crosscheck_case,
+        parse_modes,
+    )
+
+    try:
+        modes = parse_modes(args.modes)
+        names = tuple(args.workload) or _CROSSCHECK_DEFAULT
+        for name in names:
+            if name not in case_names():
+                raise ValueError(
+                    f"unknown workload {name!r}; choose from "
+                    f"{', '.join(case_names())}"
+                )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    reports = []
+    for name in names:
+        case = build_case(name, rows=args.rows, seed=args.seed)
+        reports.append(
+            crosscheck_case(case, modes, minimize=not args.no_minimize)
+        )
+
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                [report.to_dict() for report in reports],
+                indent=2,
+                default=str,
+            )
+        )
+    else:
+        for report in reports:
+            verdict = "ok" if report.passed else "DIVERGED"
+            declarative = report.declarative
+            print(
+                f"{report.case}: {verdict} "
+                f"[{report.classification.label}] "
+                f"declarative={declarative.status} "
+                f"firings={declarative.firings} "
+                f"modes={len(report.modes)}"
+            )
+            for result in report.modes:
+                flags = ""
+                if result.recovered_matches is not None:
+                    state = "ok" if result.recovered_matches else "DIVERGED"
+                    flags = f" recovery={state}"
+                print(
+                    f"  {result.mode}: {result.status} "
+                    f"{result.seconds:.3f}s{flags}"
+                )
+            if report.exploration:
+                print(f"  explore: {report.exploration}")
+            for divergence in report.divergences:
+                print(
+                    f"  divergence[{divergence['kind']}] "
+                    f"{divergence['mode']}: {divergence['detail']}"
+                )
+            if report.counterexample:
+                print(f"  counterexample: {report.counterexample}")
+
+    return 0 if all(report.passed for report in reports) else 1
+
+
 def repro_main(argv: list[str] | None = None) -> int:
     args = build_repro_parser().parse_args(argv)
     if args.command == "lint":
@@ -1301,6 +1436,8 @@ def repro_main(argv: list[str] | None = None) -> int:
         return _run_recover(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "crosscheck":
+        return _run_crosscheck(args)
     return main(args.args)
 
 

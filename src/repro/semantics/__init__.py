@@ -1,0 +1,26 @@
+"""Declarative (stable-model-style) semantics for stratified rule sets.
+
+An *independent* semantics for rule programs, after Flesca/Greco's
+"Declarative Semantics for Active Rules" (see PAPERS.md): the outcome
+of a stratified program is computed directly from the refined strata of
+:mod:`repro.analysis.stratification` by iterated per-stratum fixpoints
+over net effects — no operational scheduler, no markers, no match
+network. The differential harness in :mod:`repro.validate.crosscheck`
+checks every operational executor against it.
+"""
+
+from repro.semantics.declarative import (
+    DeclarativeEngine,
+    DeclarativeOutcome,
+    ProgramClassification,
+    classify_program,
+    declarative_outcome,
+)
+
+__all__ = [
+    "DeclarativeEngine",
+    "DeclarativeOutcome",
+    "ProgramClassification",
+    "classify_program",
+    "declarative_outcome",
+]

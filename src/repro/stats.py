@@ -53,6 +53,43 @@ class StatsBase:
             result[name] = value
         return result
 
+    def snapshot(self) -> dict:
+        """A point-in-time copy of the counters.
+
+        Module-level singletons (``rete.STATS``, ``parallel.STATS``)
+        accumulate across every session in the process; a driver that
+        runs several sessions back to back and reports the raw counters
+        attributes all prior work to the last run — or, worse, resets
+        the singleton and silently zeroes counters another consumer was
+        still accumulating. Instead, take a snapshot before the run and
+        diff with :meth:`delta_since` after: the difference is exactly
+        the run's own work, with no reset.
+        """
+        return self.to_dict()
+
+    def delta_since(self, before: dict) -> dict:
+        """The counter movement since *before* (a :meth:`snapshot`)."""
+        return stats_delta(before, self.to_dict())
+
+
+def stats_delta(before: dict, after: dict) -> dict:
+    """Field-wise difference of two stats payloads.
+
+    Nested dicts (e.g. ``ReteStats.fallback_reasons``) diff recursively;
+    keys absent from *before* count from zero. Seconds stay floats
+    (re-rounded so accumulated float error never leaks into reports).
+    """
+    result: dict = {}
+    for name, value in after.items():
+        if isinstance(value, dict):
+            result[name] = stats_delta(before.get(name, {}), value)
+        else:
+            delta = value - before.get(name, 0)
+            if isinstance(delta, float):
+                delta = round(delta, _SECONDS_DIGITS)
+            result[name] = delta
+    return result
+
 
 def render_stats(sections: dict[str, dict]) -> str:
     """Render named stats sections the way the CLI ``--stats`` flag does.

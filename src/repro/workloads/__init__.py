@@ -16,7 +16,13 @@
   the parallel-vs-serial equivalence harness;
 * :mod:`repro.workloads.streaming` — the streaming-ingestion workload
   (many event streams, per-region alert rules, one shared hot counter)
-  and the multi-threaded driver behind the concurrent-server gate.
+  and the multi-threaded driver behind the concurrent-server gate;
+* :mod:`repro.workloads.iot` — the 10⁶-row IoT telemetry workload (a
+  stratified, confluent-by-construction alert cascade over a large
+  fact table) feeding the declarative cross-check at scale;
+* :mod:`repro.workloads.fraud` — the 10⁶-row fraud-screening workload
+  (stratified score/hold/case cascade), the second domain generator
+  behind the semantics gate.
 """
 
 from repro.workloads.generator import (
@@ -24,9 +30,15 @@ from repro.workloads.generator import (
     LayeredRuleSetGenerator,
     RandomInstanceGenerator,
     RandomRuleSetGenerator,
+    StratifiedProgramGenerator,
 )
 from repro.workloads.constraints import referential_integrity_rules
-from repro.workloads.powernet import power_network_workload
+from repro.workloads.powernet import (
+    power_network_workload,
+    scaled_power_network_workload,
+)
+from repro.workloads.iot import IotWorkload, iot_workload
+from repro.workloads.fraud import FraudWorkload, fraud_workload
 from repro.workloads.applications import (
     apply_procurement_repairs,
     audit_application,
@@ -55,8 +67,14 @@ __all__ = [
     "LayeredRuleSetGenerator",
     "RandomInstanceGenerator",
     "RandomRuleSetGenerator",
+    "StratifiedProgramGenerator",
     "referential_integrity_rules",
     "power_network_workload",
+    "scaled_power_network_workload",
+    "IotWorkload",
+    "iot_workload",
+    "FraudWorkload",
+    "fraud_workload",
     "apply_procurement_repairs",
     "audit_application",
     "inventory_application",

@@ -288,6 +288,146 @@ class LayeredRuleSetGenerator:
         return RuleSet.parse("\n\n".join(rules), schema)
 
 
+class StratifiedProgramGenerator:
+    """Random **stratified, confluent-by-construction** rule programs.
+
+    The declarative cross-check needs a generator whose programs come
+    with a guarantee: every execution order reaches the same final
+    database, so the declarative outcome must *equal* every
+    ``explore()`` final (not merely be contained in the reachable set).
+    :class:`LayeredRuleSetGenerator` guarantees termination (acyclic
+    triggering graph) but not confluence — its relative updates and
+    inserts are sensitive to firing multiplicity. This generator
+    restricts the action language until order- and
+    multiplicity-insensitivity hold by construction:
+
+    * tables are layered ``t0 < t1 < ...``; a rule triggered on layer
+      ``k`` writes only layer ``k + 1`` — the triggering graph is a DAG
+      and the program is stratified (one stratum per layer);
+    * each rule owns a **private** ``(table, column)`` write target in
+      the next layer — no two rules write the same column, so firings
+      of distinct rules commute;
+    * every action is an **idempotent absolute update** confined to the
+      owned column, ``update t set c = K where c < K`` — firing twice
+      writes what firing once wrote, so multiplicity differences across
+      interleavings are invisible;
+    * conditions are absent, range over the rule's own target column
+      (whose only writer is the rule itself, so truth flips only when
+      the rule fires), or — in layer 0 only — over the rule's
+      transition table. A layer-0 transition is exactly the user
+      statement set, fully logged before rule processing starts, so
+      every interleaving evaluates the same composite; at higher layers
+      the composite a rule sees depends on which *other* rules' writes
+      happen to precede its consideration, and a refutation advances
+      the marker permanently — order-sensitivity this generator must
+      exclude.
+
+    Every rule in layer ``k > 0`` is triggered by ``updated(c)`` for
+    some column ``c`` owned by a layer ``k - 1`` rule, so cascades
+    genuinely flow through all strata. ``p_priority`` adds random
+    priority edges exactly as the other generators do — for a confluent
+    program they must not change the final state, which is what the
+    metamorphic invariance suite asserts.
+    """
+
+    def __init__(
+        self,
+        config: GeneratorConfig | None = None,
+        seed: int = 0,
+        n_layers: int = 3,
+    ) -> None:
+        config = config or GeneratorConfig()
+        if n_layers < 2:
+            raise ValueError("a stratified program needs >= 2 layers")
+        # Enough columns that every rule can own one: rules are dealt
+        # round-robin over layers, and each rule claims a column of the
+        # next layer's table.
+        per_layer = -(-config.n_rules // max(1, n_layers - 1))
+        self.columns_per_table = max(config.n_columns, per_layer)
+        self.config = config
+        self.n_layers = n_layers
+        self._seed = seed
+
+    def generate(self, seed: int | None = None) -> RuleSet:
+        rng = random.Random(self._seed if seed is None else seed)
+        schema = Schema()
+        for layer in range(self.n_layers):
+            schema.add_table(
+                f"t{layer}",
+                [f"c{i}" for i in range(self.columns_per_table)],
+            )
+
+        #: per layer, the columns owned by rules of that layer (targets
+        #: in layer + 1) — later layers trigger on them
+        owned: dict[int, list[str]] = {layer: [] for layer in range(self.n_layers)}
+        free: dict[int, list[str]] = {
+            layer: [f"c{i}" for i in range(self.columns_per_table)]
+            for layer in range(self.n_layers)
+        }
+        rules: list[str] = []
+        rule_names: list[str] = []
+
+        for index in range(self.config.n_rules):
+            name = f"s{index}"
+            layer = index % (self.n_layers - 1)
+            table = f"t{layer}"
+            target = f"t{layer + 1}"
+            if not free[layer + 1]:
+                continue  # that layer's columns are all owned
+            column = free[layer + 1].pop(rng.randrange(len(free[layer + 1])))
+            owned[layer].append(column)
+
+            if layer == 0:
+                trigger = rng.choice(["inserted", "updated"])
+            else:
+                # Trigger on a column some previous-layer rule writes so
+                # the cascade actually reaches this stratum; fall back
+                # to plain `updated` when none exists yet.
+                feeding = owned[layer - 1]
+                trigger = (
+                    f"updated({rng.choice(feeding)})"
+                    if feeding
+                    else "updated"
+                )
+
+            constant = rng.randint(5, 9)
+            action = (
+                f"update {target} set {column} = {constant} "
+                f"where {column} < {constant}"
+            )
+            condition = None
+            roll = rng.random()
+            if layer == 0 and roll < self.config.p_condition / 2:
+                transition = (
+                    "inserted" if trigger == "inserted" else "new_updated"
+                )
+                condition = (
+                    f"exists (select * from {transition} "
+                    f"where c0 >= {rng.randint(0, 3)})"
+                )
+            elif roll < self.config.p_condition:
+                condition = (
+                    f"exists (select * from {target} "
+                    f"where {column} < {constant})"
+                )
+
+            clauses = [f"create rule {name} on {table}", f"when {trigger}"]
+            if condition:
+                clauses.append(f"if {condition}")
+            clauses.append(f"then {action}")
+            precedes = [
+                earlier
+                for earlier in rule_names
+                if rng.random() < self.config.p_priority
+            ]
+            if precedes:
+                clauses.append("precedes " + ", ".join(precedes))
+            rules.append("\n".join(clauses))
+            rule_names.append(name)
+
+        return RuleSet.parse("\n\n".join(rules), schema)
+
+
 class RandomInstanceGenerator:
     """Generates (database, user statements) instances for a schema."""
 

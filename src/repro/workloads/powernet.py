@@ -74,11 +74,16 @@ class PowerNetworkWorkload:
         "balance_supply",
     )
 
+    #: the branch the overload transition hits (the ring-closing branch
+    #: into node 1; its id differs between the small and scaled builds)
+    overload_branch: int = 10
+
     def overload_transition(self) -> list[str]:
         """A design change that overloads part of the network."""
         return [
             "update node set demand = demand + 3 where id = 1",
-            "update branch set load = load + 3 where id = 10",
+            f"update branch set load = load + 3 "
+            f"where id = {self.overload_branch}",
         ]
 
 
@@ -106,3 +111,33 @@ def power_network_workload(size: int = 3) -> PowerNetworkWorkload:
     branches.append((10, size, 1, 1, 3))  # ring-closing branch into node 1
     database.load("branch", branches)
     return PowerNetworkWorkload(schema=schema, ruleset=ruleset, database=database)
+
+
+def scaled_power_network_workload(nodes: int = 100_000) -> PowerNetworkWorkload:
+    """The case study scaled by orders of magnitude (ROADMAP item 5).
+
+    Same three rules, a *nodes*-node ring: node ``i`` feeds node
+    ``i + 1`` over one branch, the last branch closes the ring. The
+    network starts balanced (demand 2 < supply 4, load 1 < capacity 3);
+    :meth:`~PowerNetworkWorkload.overload_transition` unbalances the
+    same two entities it does on the small instance, so the cascade's
+    firing count stays bounded by the small per-entity gaps while every
+    firing's scans range over the full 10⁵–10⁶-row tables — the scaling
+    pressure is on the executors, not on termination.
+    """
+    schema = power_network_schema()
+    ruleset = RuleSet.parse(POWER_NETWORK_RULES, schema)
+
+    database = Database(schema)
+    database.load("node", [(i, 2, 4) for i in range(1, nodes + 1)])
+    branches = [
+        (nodes + i, i, i + 1, 1, 3) for i in range(1, nodes)
+    ]
+    branches.append((nodes, nodes, 1, 1, 3))  # ring-closing branch
+    database.load("branch", branches)
+    return PowerNetworkWorkload(
+        schema=schema,
+        ruleset=ruleset,
+        database=database,
+        overload_branch=nodes,
+    )

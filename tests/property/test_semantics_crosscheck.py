@@ -1,0 +1,241 @@
+"""Randomized differential properties: declarative vs operational.
+
+Two families, matching the soundness boundary of the declarative
+baseline:
+
+* **stratified programs** (:class:`StratifiedProgramGenerator`) are
+  confluent by construction, so the declarative outcome must *equal*
+  the unique ``explore()``-reachable final on every seeded instance;
+* **arbitrary programs** (:class:`RandomRuleSetGenerator`) promise
+  nothing, so only *containment* holds: the declarative run is itself
+  one operational execution order, hence its final must appear in the
+  reachable set whenever exploration can decide it.
+
+Plus the metamorphic invariances: for confluence-certified programs,
+permuting rule priorities and reseeding a randomized consideration
+strategy are identity transformations on the final database — and on
+the declarative outcome, which never looks at either.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import seed as hypothesis_seed
+from hypothesis import strategies as st
+
+from tests.seeding import derive_seed
+
+from repro.engine.database import Database
+from repro.lang.parser import parse_statement
+from repro.runtime.exec_graph import explore_ruleset
+from repro.runtime.processor import RuleProcessor
+from repro.runtime.strategies import RandomStrategy
+from repro.rules.ruleset import RuleSet
+from repro.semantics import classify_program, declarative_outcome
+from repro.workloads.generator import (
+    GeneratorConfig,
+    RandomInstanceGenerator,
+    RandomRuleSetGenerator,
+    StratifiedProgramGenerator,
+)
+
+STRATIFIED_CONFIG = GeneratorConfig(
+    n_rules=6, p_condition=0.5, p_priority=0.25
+)
+
+RANDOM_CONFIG = GeneratorConfig(
+    n_tables=3,
+    n_columns=2,
+    n_rules=5,
+    rows_per_table=3,
+    statements_per_transition=3,
+    p_priority=0.2,
+)
+
+
+def stratified_instance(seed: int):
+    """A seeded stratified program plus a seeded instance over it."""
+    rng = random.Random(derive_seed("semantics-stratified", seed))
+    generator = StratifiedProgramGenerator(
+        STRATIFIED_CONFIG, n_layers=2 + seed % 2
+    )
+    ruleset = generator.generate(seed)
+    database = Database(ruleset.schema)
+    for table in ruleset.schema.table_names:
+        columns = ruleset.schema.table(table).column_names
+        database.load(
+            table,
+            [
+                tuple(rng.randint(0, 3) for _ in columns)
+                for _ in range(rng.randint(1, 3))
+            ],
+        )
+    row = ", ".join(
+        str(rng.randint(0, 4))
+        for _ in ruleset.schema.table("t0").column_names
+    )
+    statements = [
+        f"insert into t0 values ({row})",
+        f"update t0 set c0 = {rng.randint(3, 6)}",
+    ]
+    return ruleset, database, statements
+
+
+def operational_final(ruleset, database, statements, strategy=None):
+    processor = RuleProcessor(
+        ruleset, database.copy(), strategy=strategy, max_steps=5_000
+    )
+    for statement in statements:
+        processor.execute_user(statement)
+    processor.run()
+    return processor.database.canonical()
+
+
+@hypothesis_seed(derive_seed("semantics-crosscheck", "stratified-equality"))
+@given(seed=st.integers(0, 10_000))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_stratified_declarative_equals_every_reachable_final(seed):
+    ruleset, database, statements = stratified_instance(seed)
+    classification = classify_program(ruleset, certified_confluent=False)
+    assert classification.stratified, "generator must emit stratified programs"
+
+    outcome = declarative_outcome(ruleset, database, statements)
+    assert outcome.quiescent
+
+    graph = explore_ruleset(
+        ruleset,
+        database,
+        [parse_statement(s) for s in statements],
+        max_states=3_000,
+    )
+    if graph.truncated:
+        return  # undecidable instance: nothing to assert
+    finals = set(graph.final_databases.values())
+    assert len(finals) == 1, (
+        f"seed {seed}: stratified program reached {len(finals)} finals"
+    )
+    assert outcome.final in finals
+
+
+@hypothesis_seed(derive_seed("semantics-crosscheck", "random-containment"))
+@given(seed=st.integers(0, 10_000))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_programs_declarative_is_contained(seed):
+    ruleset = RandomRuleSetGenerator(
+        RANDOM_CONFIG, seed=derive_seed("semantics-random-rules", seed)
+    ).generate()
+    instances = RandomInstanceGenerator(RANDOM_CONFIG)
+    database = instances.generate_database(
+        ruleset.schema, seed=derive_seed("semantics-random-db", seed)
+    )
+    statements = instances.generate_transition(
+        ruleset.schema, seed=derive_seed("semantics-random-txn", seed)
+    )
+
+    outcome = declarative_outcome(
+        ruleset, database, statements, max_firings=200
+    )
+    if not outcome.quiescent:
+        return  # non-quiescent programs assert nothing here
+    graph = explore_ruleset(
+        ruleset,
+        database,
+        list(statements),
+        max_states=1_500,
+        max_depth=120,
+    )
+    if graph.truncated or graph.has_cycle:
+        return  # exploration could not decide the reachable set
+    finals = set(graph.final_databases.values())
+    assert outcome.final in finals, (
+        f"seed {seed}: declarative final is not operationally reachable"
+    )
+
+
+# ----------------------------------------------------------------------
+# Metamorphic invariances for certified-confluent programs
+# ----------------------------------------------------------------------
+
+
+def permute_priorities(ruleset: RuleSet, seed: int) -> RuleSet:
+    """A copy of *ruleset* whose priority relation is replaced by edges
+    consistent with a random total order (always acyclic)."""
+    clone = ruleset.subset(ruleset.names)
+    for higher, lower in list(clone.priorities.pairs()):
+        clone.remove_priority(higher, lower)
+    rng = random.Random(seed)
+    order = list(clone.names)
+    rng.shuffle(order)
+    for index in range(len(order) - 1):
+        if rng.random() < 0.5:
+            clone.add_priority(order[index], order[index + 1])
+    return clone
+
+
+@hypothesis_seed(derive_seed("semantics-crosscheck", "metamorphic-priorities"))
+@given(seed=st.integers(0, 10_000), permutation=st.integers(0, 1_000))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_priority_permutation_is_identity_on_confluent_finals(
+    seed, permutation
+):
+    """Confluence-certified programs: the final database — operational
+    and declarative — is byte-identical under any priority relation."""
+    ruleset, database, statements = stratified_instance(seed)
+    base_operational = operational_final(ruleset, database, statements)
+    base_declarative = declarative_outcome(ruleset, database, statements)
+
+    permuted = permute_priorities(
+        ruleset, derive_seed("priority-permutation", seed, permutation)
+    )
+    assert (
+        operational_final(permuted, database, statements) == base_operational
+    )
+    permuted_declarative = declarative_outcome(permuted, database, statements)
+    assert permuted_declarative.final == base_declarative.final
+    assert base_declarative.final == base_operational
+
+
+@hypothesis_seed(derive_seed("semantics-crosscheck", "metamorphic-strategy"))
+@given(seed=st.integers(0, 10_000), reseed=st.integers(0, 1_000))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_strategy_reseeds_are_identity_on_confluent_finals(
+    seed, reseed
+):
+    """Confluence-certified programs: every RandomStrategy activation
+    order lands on the same final, which is the declarative outcome."""
+    ruleset, database, statements = stratified_instance(seed)
+    declarative = declarative_outcome(ruleset, database, statements)
+    first = operational_final(
+        ruleset,
+        database,
+        statements,
+        strategy=RandomStrategy(seed=derive_seed("strategy", seed, reseed)),
+    )
+    second = operational_final(
+        ruleset,
+        database,
+        statements,
+        strategy=RandomStrategy(
+            seed=derive_seed("strategy", seed, reseed + 1)
+        ),
+    )
+    assert first == second
+    assert first == declarative.final

@@ -1,0 +1,232 @@
+"""Unit tests for the declarative-semantics baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExecutionConfig
+from repro.engine.database import Database
+from repro.rules.ruleset import RuleSet
+from repro.schema.catalog import schema_from_spec
+from repro.semantics import (
+    DeclarativeEngine,
+    classify_program,
+    declarative_outcome,
+)
+from repro.validate.crosscheck import build_case
+from repro.workloads.iot import iot_workload
+from repro.workloads.powernet import power_network_workload
+
+
+def simple_schema():
+    return schema_from_spec(
+        {"t": ["id", "v"], "flag": ["f"], "marker": ["m"], "out": ["r"]}
+    )
+
+
+# A program whose declarative (stratum-first) firing order differs from
+# the operational (definition-order) Choose: `high` is defined first but
+# sits in stratum 1 because `low` writes its trigger column.
+ORDER_SENSITIVE_RULES = """
+create rule high on marker
+when updated(m)
+then update out set r = 1 where exists (select * from flag where f = 0);
+     update flag set f = 1 where f = 0
+
+create rule low on t
+when inserted
+then update flag set f = 2 where f = 0;
+     update marker set m = 2
+"""
+
+ORDER_SENSITIVE_STATEMENTS = [
+    "insert into t values (1, 1)",
+    "update marker set m = 1",
+]
+
+
+def order_sensitive_case():
+    schema = simple_schema()
+    ruleset = RuleSet.parse(ORDER_SENSITIVE_RULES, schema)
+    database = Database(schema)
+    database.load("flag", [(0,)])
+    database.load("marker", [(0,)])
+    database.load("out", [(0,)])
+    return ruleset, database
+
+
+class TestClassification:
+    def test_iot_is_stratified_confluent(self):
+        workload = iot_workload(rows=500, regions=2, devices_per_region=4)
+        classification = classify_program(
+            workload.ruleset,
+            certified_confluent=workload.certified_confluent,
+        )
+        assert classification.label == "stratified-confluent"
+        assert classification.stratified
+        # The cascade layers order each region's rules bottom-up.
+        strata = classification.strata
+        assert (
+            strata["iot_alert_r0"]
+            < strata["iot_degrade_r0"]
+            < strata["iot_dispatch_r0"]
+        )
+
+    def test_powernet_is_unstratified(self):
+        workload = power_network_workload()
+        classification = classify_program(
+            workload.ruleset, certified_confluent=False
+        )
+        assert not classification.stratified
+        assert classification.label == "unstratified"
+
+    def test_certificate_short_circuits_analysis(self):
+        workload = power_network_workload()
+        certified = classify_program(
+            workload.ruleset, certified_confluent=True
+        )
+        assert certified.confluent
+        uncertified = classify_program(
+            workload.ruleset, certified_confluent=False
+        )
+        assert not uncertified.confluent
+
+
+class TestDeclarativeOutcome:
+    def test_strata_order_beats_definition_order(self):
+        """`low` (stratum 0) fires before `high` (stratum 1) even though
+        `high` is defined first — so `high` sees the flag already
+        spent."""
+        ruleset, database = order_sensitive_case()
+        outcome = declarative_outcome(
+            ruleset, database, ORDER_SENSITIVE_STATEMENTS
+        )
+        assert outcome.quiescent
+        assert outcome.firing_sequence[0] == "low"
+        final = dict(outcome.final)
+        assert final["out"] == ((0,),)  # high's exists() found f != 0
+        assert final["flag"] == ((2,),)
+
+    def test_operational_order_differs(self):
+        """The operational Choose fires `high` first (definition order),
+        which lands on a different final — the program is genuinely
+        non-confluent, which the differential contract must notice when
+        a (wrong) certificate claims otherwise."""
+        from repro.runtime.processor import RuleProcessor
+
+        ruleset, database = order_sensitive_case()
+        processor = RuleProcessor(
+            ruleset, database.copy(), config=ExecutionConfig()
+        )
+        for statement in ORDER_SENSITIVE_STATEMENTS:
+            processor.execute_user(statement)
+        processor.run()
+        final = dict(processor.database.canonical())
+        assert final["out"] == ((1,),)
+        assert final["flag"] == ((1,),)
+
+    def test_database_is_not_mutated(self):
+        workload = iot_workload(rows=200, regions=2, devices_per_region=4)
+        before = workload.database.canonical()
+        declarative_outcome(
+            workload.ruleset, workload.database, workload.ingest_transition()
+        )
+        assert workload.database.canonical() == before
+
+    def test_stratum_fixpoints_complete_bottom_up(self):
+        workload = iot_workload(rows=500, regions=2, devices_per_region=4)
+        outcome = declarative_outcome(
+            workload.ruleset, workload.database, workload.ingest_transition()
+        )
+        assert outcome.quiescent
+        # Strata complete in ascending order for a stratified program.
+        assert list(outcome.stratum_fixpoints) == sorted(
+            outcome.stratum_fixpoints
+        )
+
+    def test_nonterminating_budget(self):
+        schema = schema_from_spec({"w": ["n"]})
+        ruleset = RuleSet.parse(
+            "create rule storm on w when updated(n), inserted "
+            "then update w set n = n + 1",
+            schema,
+        )
+        database = Database(schema)
+        database.load("w", [(0,)])
+        outcome = declarative_outcome(
+            ruleset,
+            database,
+            ["insert into w values (1)"],
+            max_firings=25,
+        )
+        assert outcome.status == "nonterminating"
+        assert outcome.final is None
+
+    def test_rollback_restores_pre_transaction_state(self):
+        schema = schema_from_spec({"t": ["id", "v"]})
+        ruleset = RuleSet.parse(
+            "create rule guard on t when inserted "
+            "if exists (select * from t where v > 10) then rollback",
+            schema,
+        )
+        database = Database(schema)
+        database.load("t", [(1, 1)])
+        before = database.canonical()
+        outcome = declarative_outcome(
+            ruleset, database, ["insert into t values (2, 99)"]
+        )
+        assert outcome.status == "rolled_back"
+        assert outcome.final == before
+
+    def test_sequential_transactions_accumulate(self):
+        workload = iot_workload(
+            rows=200, regions=2, devices_per_region=4, batch_rows=64
+        )
+        engine = DeclarativeEngine(
+            workload.ruleset, workload.database.copy()
+        )
+        first = engine.transaction(workload.ingest_transition())
+        assert first.quiescent
+        second = engine.transaction(
+            ["insert into readings values (999001, 0, 0, 1000)"]
+        )
+        assert second.quiescent
+        # The second batch starts from quiescence: only the fresh alert
+        # cascade fires, not a replay of the first batch's.
+        assert second.firings <= first.firings
+
+    def test_schema_mismatch_rejected(self):
+        workload = iot_workload(rows=100, regions=2, devices_per_region=4)
+        other = Database(simple_schema())
+        from repro.errors import RuleProcessingError
+
+        with pytest.raises(RuleProcessingError):
+            DeclarativeEngine(workload.ruleset, other)
+
+
+class TestRegistryCases:
+    def test_zoo_case_excludes_nonterminating_rules(self):
+        case = build_case("termination_zoo")
+        assert "storm" not in case.ruleset.names
+        assert "spin" not in case.ruleset.names
+        outcome = declarative_outcome(
+            case.ruleset, case.database, case.statements
+        )
+        assert outcome.quiescent
+
+    def test_powernet_case_declarative_is_reachable(self):
+        from repro.lang.parser import parse_statement
+        from repro.runtime.exec_graph import explore_ruleset
+
+        case = build_case("powernet")
+        outcome = declarative_outcome(
+            case.ruleset, case.database, case.statements
+        )
+        graph = explore_ruleset(
+            case.ruleset,
+            case.database,
+            [parse_statement(s) for s in case.statements],
+            max_states=2_000,
+        )
+        assert not graph.truncated
+        assert outcome.final in set(graph.final_databases.values())

@@ -38,6 +38,7 @@ from repro.runtime.server import RuleServer
 from repro.schema.catalog import schema_from_spec
 from repro.transitions.delta import Primitive
 from repro.validate.faults import DeviceLatency
+from repro.workloads.iot import iot_workload
 
 from tests.validate.test_recovery import truncate_to
 
@@ -291,3 +292,110 @@ class TestConcurrentServerCrashMatrix:
             tmp_path, path, schema, canonicals, scan, stride=1
         )
         assert points >= 100, f"only {points} crash points exercised"
+
+
+# ----------------------------------------------------------------------
+# Crash matrix against the declarative oracle
+# ----------------------------------------------------------------------
+
+
+def run_stratified_server(path: str, transactions: list[list[str]]):
+    """A serial durable server over the stratified iot workload.
+
+    Submitting from one thread makes commit order equal program order,
+    so "state after commit *k*" is well-defined independently of the
+    server — which lets the declarative oracle, not the server's own
+    snapshots, supply the expected state at every crash point.
+    """
+    workload = iot_workload(rows=200, regions=2, devices_per_region=4)
+    server = RuleServer(
+        workload.ruleset,
+        workload.database.copy(),
+        config=ExecutionConfig(durable=True, wal=path),
+        record_commit_canonicals=True,
+    )
+    for statements in transactions:
+        outcome = server.run_transaction(statements)
+        assert outcome.committed
+    server.close()
+    return workload, server, scan_frames(path)
+
+
+def declarative_canonicals(workload, transactions) -> dict:
+    """``{k: canonical after the first k transactions}`` computed by the
+    declarative engine alone — per-stratum fixpoints, no scheduler."""
+    from repro.semantics import DeclarativeEngine
+
+    engine = DeclarativeEngine(workload.ruleset, workload.database.copy())
+    canonicals = {0: workload.database.canonical()}
+    for index, statements in enumerate(transactions, start=1):
+        outcome = engine.transaction(statements)
+        assert outcome.quiescent
+        canonicals[index] = outcome.final
+    return canonicals
+
+
+def iot_oracle_transactions(count: int) -> list[list[str]]:
+    """Seeded reading batches; every third crosses the alert threshold
+    so the cascade (alert -> degrade -> dispatch) really fires."""
+    transactions = []
+    for k in range(count):
+        device = k % 8
+        region = device % 2
+        value = 990 + k if k % 3 == 0 else 100 + k
+        transactions.append(
+            [
+                f"insert into readings values "
+                f"({900_000 + 2 * k}, {device}, {region}, {value})",
+                f"insert into readings values "
+                f"({900_001 + 2 * k}, {(device + 3) % 8}, "
+                f"{((device + 3) % 8) % 2}, {50 + k})",
+            ]
+        )
+    return transactions
+
+
+class TestDeclarativeOracleRecovery:
+    """Recovered truncated-WAL states must satisfy the declarative
+    oracle for stratified workloads: at every crash point the recovered
+    database equals the per-stratum fixpoint state of the committed
+    transaction prefix — no appeal to the server's recorded snapshots."""
+
+    def test_commit_snapshots_match_the_oracle(self, tmp_path):
+        path = str(tmp_path / "oracle.wal")
+        transactions = iot_oracle_transactions(6)
+        workload, server, _ = run_stratified_server(path, transactions)
+        oracle = declarative_canonicals(workload, transactions)
+        assert server.commit_count == len(transactions)
+        for epoch, canonical in server.commit_canonicals.items():
+            assert canonical == oracle[epoch], (
+                f"server snapshot at commit {epoch} diverges from the "
+                "declarative oracle"
+            )
+
+    def test_strided_truncation_recovers_oracle_states(self, tmp_path):
+        path = str(tmp_path / "oracle.wal")
+        transactions = iot_oracle_transactions(6)
+        workload, _, scan = run_stratified_server(path, transactions)
+        oracle = declarative_canonicals(workload, transactions)
+        points = sweep_boundaries(
+            tmp_path,
+            path,
+            workload.schema,
+            oracle,
+            scan,
+            stride=7,
+        )
+        assert points >= 5
+
+    @pytest.mark.slow
+    @pytest.mark.simulation
+    def test_every_truncation_recovers_oracle_states(self, tmp_path):
+        path = str(tmp_path / "oracle.wal")
+        transactions = iot_oracle_transactions(12)
+        workload, _, scan = run_stratified_server(path, transactions)
+        oracle = declarative_canonicals(workload, transactions)
+        points = sweep_boundaries(
+            tmp_path, path, workload.schema, oracle, scan, stride=1
+        )
+        assert points >= 30, f"only {points} crash points exercised"
